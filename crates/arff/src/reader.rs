@@ -1,0 +1,318 @@
+//! ARFF parser.
+//!
+//! Parses the header eagerly, then streams data rows as [`SparseVec`]s
+//! (dense rows are sparsified: zeros dropped). Supports `%` comments,
+//! blank lines, quoted names, and case-insensitive keywords — enough to
+//! read files WEKA itself writes.
+
+use crate::{unquote_name, ArffError, ArffHeader, AttrKind, Attribute};
+use hpa_sparse::SparseVec;
+use std::io::BufRead;
+
+/// Streaming ARFF reader.
+pub struct ArffReader<R: BufRead> {
+    input: R,
+    header: ArffHeader,
+    line_no: usize,
+    buf: String,
+}
+
+impl<R: BufRead> ArffReader<R> {
+    /// Parse the header; the reader is then positioned at the first row.
+    pub fn new(mut input: R) -> Result<Self, ArffError> {
+        let mut header = ArffHeader::default();
+        let mut line_no = 0usize;
+        let mut buf = String::new();
+        loop {
+            buf.clear();
+            let n = input.read_line(&mut buf)?;
+            if n == 0 {
+                return Err(ArffError::Parse {
+                    line: line_no,
+                    message: "end of file before @DATA".into(),
+                });
+            }
+            line_no += 1;
+            let line = strip_comment(&buf).trim();
+            if line.is_empty() {
+                continue;
+            }
+            let upper = line.to_ascii_uppercase();
+            if let Some(rest) = keyword(line, &upper, "@RELATION") {
+                header.relation = unquote_name(rest);
+            } else if let Some(rest) = keyword(line, &upper, "@ATTRIBUTE") {
+                header
+                    .attributes
+                    .push(parse_attribute(rest, line_no)?);
+            } else if upper.starts_with("@DATA") {
+                break;
+            } else {
+                return Err(ArffError::Parse {
+                    line: line_no,
+                    message: format!("unexpected header line: {line}"),
+                });
+            }
+        }
+        Ok(ArffReader {
+            input,
+            header,
+            line_no,
+            buf,
+        })
+    }
+
+    /// The parsed header.
+    pub fn header(&self) -> &ArffHeader {
+        &self.header
+    }
+
+    /// Read the next data row, or `None` at end of file.
+    pub fn next_row(&mut self) -> Result<Option<SparseVec>, ArffError> {
+        loop {
+            self.buf.clear();
+            let n = self.input.read_line(&mut self.buf)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.line_no += 1;
+            let line = strip_comment(&self.buf).trim();
+            if line.is_empty() {
+                continue;
+            }
+            return self.parse_row(line).map(Some);
+        }
+    }
+
+    /// Read all remaining rows.
+    pub fn read_all(&mut self) -> Result<Vec<SparseVec>, ArffError> {
+        let mut rows = Vec::new();
+        while let Some(r) = self.next_row()? {
+            rows.push(r);
+        }
+        Ok(rows)
+    }
+
+    fn parse_row(&self, line: &str) -> Result<SparseVec, ArffError> {
+        let err = |message: String| ArffError::Parse {
+            line: self.line_no,
+            message,
+        };
+        let dim = self.header.dim();
+        if let Some(inner) = line.strip_prefix('{') {
+            let inner = inner
+                .strip_suffix('}')
+                .ok_or_else(|| err("sparse row missing closing '}'".into()))?;
+            let mut pairs = Vec::new();
+            for item in inner.split(',') {
+                let item = item.trim();
+                if item.is_empty() {
+                    continue;
+                }
+                let (idx_s, val_s) = item
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| err(format!("sparse entry '{item}' lacks a value")))?;
+                let idx: u32 = idx_s
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(format!("bad index '{idx_s}'")))?;
+                if idx as usize >= dim {
+                    return Err(err(format!("index {idx} out of range (dim {dim})")));
+                }
+                let val: f64 = val_s
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(format!("bad value '{val_s}'")))?;
+                pairs.push((idx, val));
+            }
+            // WEKA requires ascending indices but we tolerate any order.
+            Ok(SparseVec::from_pairs(pairs))
+        } else {
+            let values: Vec<&str> = line.split(',').collect();
+            if values.len() != dim {
+                return Err(err(format!(
+                    "dense row has {} values, header declares {dim}",
+                    values.len()
+                )));
+            }
+            let mut pairs = Vec::new();
+            for (i, v) in values.iter().enumerate() {
+                let x: f64 = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(format!("bad value '{v}'")))?;
+                if x != 0.0 {
+                    pairs.push((i as u32, x));
+                }
+            }
+            Ok(SparseVec::from_pairs(pairs))
+        }
+    }
+}
+
+/// Strip an unquoted `%` comment (respecting `\'` escapes inside quotes).
+fn strip_comment(line: &str) -> &str {
+    let mut in_quote = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quote => escaped = true,
+            '\'' => in_quote = !in_quote,
+            '%' if !in_quote => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Index of the quote closing a name that starts with `'` at index 0,
+/// honouring `\\` escapes.
+fn closing_quote(s: &str) -> Option<usize> {
+    debug_assert!(s.starts_with('\''));
+    let bytes = s.as_bytes();
+    let mut i = 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+fn keyword<'a>(line: &'a str, upper: &str, kw: &str) -> Option<&'a str> {
+    if upper.starts_with(kw) {
+        Some(line[kw.len()..].trim_start())
+    } else {
+        None
+    }
+}
+
+fn parse_attribute(rest: &str, line_no: usize) -> Result<Attribute, ArffError> {
+    let err = |message: String| ArffError::Parse {
+        line: line_no,
+        message,
+    };
+    let rest = rest.trim();
+    // Name may be quoted (and contain spaces and escaped quotes) or a
+    // bare token.
+    let (name, type_part) = if rest.starts_with('\'') {
+        let close = closing_quote(rest)
+            .ok_or_else(|| err("unterminated quoted attribute name".into()))?;
+        (unquote_name(&rest[..=close]), rest[close + 1..].trim())
+    } else {
+        let (n, t) = rest
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| err(format!("attribute '{rest}' lacks a type")))?;
+        (n.to_string(), t.trim())
+    };
+    let upper = type_part.to_ascii_uppercase();
+    let kind = if upper.starts_with("NUMERIC") || upper.starts_with("REAL") || upper.starts_with("INTEGER") {
+        AttrKind::Numeric
+    } else if upper.starts_with("STRING") {
+        AttrKind::String
+    } else if type_part.starts_with('{') {
+        let inner = type_part
+            .trim_start_matches('{')
+            .trim_end_matches('}')
+            .trim();
+        AttrKind::Nominal(
+            inner
+                .split(',')
+                .map(|v| unquote_name(v.trim()))
+                .collect(),
+        )
+    } else {
+        return Err(err(format!("unknown attribute type '{type_part}'")));
+    };
+    Ok(Attribute { name, kind })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn reader(text: &str) -> ArffReader<Cursor<&[u8]>> {
+        ArffReader::new(Cursor::new(text.as_bytes())).unwrap()
+    }
+
+    const SAMPLE: &str = "\
+% a comment\n\
+@RELATION 'my rel'\n\
+\n\
+@ATTRIBUTE alpha NUMERIC\n\
+@attribute 'two words' real\n\
+@ATTRIBUTE gamma INTEGER\n\
+\n\
+@DATA\n\
+{0 1.5,2 3}\n\
+0,2.5,0\n\
+% trailing comment\n\
+{}\n";
+
+    #[test]
+    fn parses_header_case_insensitively() {
+        let r = reader(SAMPLE);
+        assert_eq!(r.header().relation, "my rel");
+        assert_eq!(r.header().dim(), 3);
+        assert_eq!(r.header().attributes[1].name, "two words");
+        assert_eq!(r.header().attributes[2].kind, AttrKind::Numeric);
+    }
+
+    #[test]
+    fn reads_sparse_dense_and_empty_rows() {
+        let mut r = reader(SAMPLE);
+        let rows = r.read_all().unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].iter().collect::<Vec<_>>(), [(0, 1.5), (2, 3.0)]);
+        assert_eq!(rows[1].iter().collect::<Vec<_>>(), [(1, 2.5)]);
+        assert!(rows[2].is_empty());
+    }
+
+    #[test]
+    fn nominal_attributes_parse() {
+        let mut r = reader("@RELATION r\n@ATTRIBUTE cls {yes, no}\n@DATA\n");
+        assert_eq!(
+            r.header().attributes[0].kind,
+            AttrKind::Nominal(vec!["yes".into(), "no".into()])
+        );
+        assert_eq!(r.next_row().unwrap(), None);
+    }
+
+    #[test]
+    fn out_of_range_sparse_index_is_an_error() {
+        let mut r = reader("@RELATION r\n@ATTRIBUTE a NUMERIC\n@DATA\n{3 1.0}\n");
+        let e = r.next_row().unwrap_err();
+        assert!(e.to_string().contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn wrong_dense_width_is_an_error_with_line_number() {
+        let mut r = reader("@RELATION r\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE b NUMERIC\n@DATA\n1.0\n");
+        let e = r.next_row().unwrap_err();
+        assert!(e.to_string().contains("line 5"), "{e}");
+    }
+
+    #[test]
+    fn missing_data_section_is_an_error() {
+        let e = ArffReader::new(Cursor::new(b"@RELATION r\n" as &[u8])).err().expect("must fail");
+        assert!(e.to_string().contains("before @DATA"), "{e}");
+    }
+
+    #[test]
+    fn comment_inside_quotes_is_preserved() {
+        let r = reader("@RELATION 'has % inside'\n@ATTRIBUTE a NUMERIC\n@DATA\n");
+        assert_eq!(r.header().relation, "has % inside");
+    }
+
+    #[test]
+    fn garbage_header_line_is_an_error() {
+        let e = ArffReader::new(Cursor::new(b"hello\n@DATA\n" as &[u8])).err().expect("must fail");
+        assert!(e.to_string().contains("unexpected header line"), "{e}");
+    }
+}

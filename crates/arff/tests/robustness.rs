@@ -1,0 +1,61 @@
+//! Robustness: the ARFF parser must never panic — arbitrary input either
+//! parses or returns a structured error with a line number.
+
+use hpa_arff::ArffReader;
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn try_parse(input: &[u8]) {
+    // Constructing the reader parses the header; reading rows parses the
+    // body. Both must return (Ok or Err), never panic.
+    if let Ok(mut reader) = ArffReader::new(Cursor::new(input.to_vec())) {
+        let mut guard = 0;
+        while let Ok(Some(_)) = reader.next_row() {
+            guard += 1;
+            if guard > 10_000 {
+                panic!("parser failed to terminate");
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_bytes_never_panic(input in prop::collection::vec(any::<u8>(), 0..2048)) {
+        try_parse(&input);
+    }
+
+    #[test]
+    fn arff_looking_text_never_panics(
+        relation in "[ -~]{0,30}",
+        attrs in prop::collection::vec("[ -~]{0,40}", 0..10),
+        rows in prop::collection::vec("[ -~{}0-9. ,]{0,60}", 0..10),
+    ) {
+        let mut text = format!("@RELATION {relation}\n");
+        for a in &attrs {
+            text.push_str(&format!("@ATTRIBUTE {a}\n"));
+        }
+        text.push_str("@DATA\n");
+        for r in &rows {
+            text.push_str(r);
+            text.push('\n');
+        }
+        try_parse(text.as_bytes());
+    }
+
+    #[test]
+    fn truncated_valid_files_never_panic(cut in 0usize..200) {
+        let valid = b"@RELATION r\n@ATTRIBUTE alpha NUMERIC\n@ATTRIBUTE 'b c' NUMERIC\n@DATA\n{0 1.5,1 2}\n0.5,3\n";
+        let cut = cut.min(valid.len());
+        try_parse(&valid[..cut]);
+    }
+}
+
+#[test]
+fn error_line_numbers_point_at_the_offender() {
+    let text = "@RELATION r\n@ATTRIBUTE a NUMERIC\n@DATA\n{0 1}\nnot_a_number\n";
+    let mut r = ArffReader::new(Cursor::new(text.as_bytes().to_vec())).unwrap();
+    assert!(r.next_row().unwrap().is_some());
+    let err = r.next_row().unwrap_err().to_string();
+    assert!(err.contains("line 5"), "{err}");
+}

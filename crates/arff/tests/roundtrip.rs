@@ -1,0 +1,87 @@
+//! Property test: writer → reader round trip is the identity on sparse
+//! matrices, for arbitrary dimensions, attribute names, and row contents.
+
+use hpa_arff::{ArffHeader, ArffReader, ArffWriter};
+use hpa_sparse::SparseVec;
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z]{1,8}",
+        // Names that force quoting.
+        "[a-z ]{1,6}".prop_map(|s| format!("w {s}")),
+        Just("per%cent".to_string()),
+        Just("qu'ote".to_string()),
+    ]
+}
+
+fn arb_matrix() -> impl Strategy<Value = (Vec<String>, Vec<Vec<(u32, f64)>>)> {
+    (1usize..20).prop_flat_map(|dim| {
+        let names = prop::collection::vec(arb_name(), dim..=dim);
+        let rows = prop::collection::vec(
+            prop::collection::vec((0..dim as u32, -1000.0..1000.0f64), 0..dim),
+            0..12,
+        );
+        (names, rows)
+    })
+}
+
+proptest! {
+    #[test]
+    fn sparse_round_trip((names, rows) in arb_matrix()) {
+        let dim = names.len();
+        let header = ArffHeader::numeric("prop", names.clone());
+        let mut w = ArffWriter::new(Vec::new());
+        w.write_header(&header).unwrap();
+        let originals: Vec<SparseVec> = rows
+            .into_iter()
+            .map(SparseVec::from_pairs)
+            .collect();
+        for r in &originals {
+            w.write_sparse_row(r).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+
+        let mut reader = ArffReader::new(Cursor::new(bytes)).unwrap();
+        prop_assert_eq!(reader.header().dim(), dim);
+        for (i, a) in reader.header().attributes.iter().enumerate() {
+            prop_assert_eq!(&a.name, &names[i]);
+        }
+        let back = reader.read_all().unwrap();
+        prop_assert_eq!(back.len(), originals.len());
+        for (orig, got) in originals.iter().zip(&back) {
+            prop_assert_eq!(orig.terms(), got.terms());
+            for (a, b) in orig.weights().iter().zip(got.weights()) {
+                // f64 Display prints shortest-round-trip representation,
+                // so values survive exactly.
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_rows_read_back_as_sparsified((names, rows) in arb_matrix()) {
+        let dim = names.len();
+        let header = ArffHeader::numeric("prop", names);
+        let mut w = ArffWriter::new(Vec::new());
+        w.write_header(&header).unwrap();
+        let originals: Vec<SparseVec> = rows.into_iter().map(SparseVec::from_pairs).collect();
+        for r in &originals {
+            let mut dense = vec![0.0; dim];
+            for (t, v) in r.iter() {
+                dense[t as usize] = v;
+            }
+            w.write_dense_row(&dense).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let mut reader = ArffReader::new(Cursor::new(bytes)).unwrap();
+        let back = reader.read_all().unwrap();
+        for (orig, got) in originals.iter().zip(&back) {
+            // Dense write drops explicit zeros; compare nonzero content.
+            let orig_nz: Vec<(u32, f64)> = orig.iter().filter(|(_, v)| *v != 0.0).collect();
+            let got_all: Vec<(u32, f64)> = got.iter().collect();
+            prop_assert_eq!(orig_nz, got_all);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Criterion benchmarks of the operators end-to-end at small scale:
+//! tracks regressions in the real (measured, sequential) performance of
+//! the TF/IDF and K-means pipelines, complementing the simulated
+//! figure-level harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpa_corpus::{Corpus, CorpusSpec};
+use hpa_dict::DictKind;
+use hpa_exec::Exec;
+use hpa_kmeans::{baseline::SimpleKMeans, KMeans, KMeansConfig};
+use hpa_tfidf::{TfIdf, TfIdfConfig};
+
+fn corpus() -> Corpus {
+    CorpusSpec::mix().scaled(0.005).generate(77)
+}
+
+fn bench_tfidf_fit(c: &mut Criterion) {
+    let corpus = corpus();
+    let mut g = c.benchmark_group("tfidf_fit");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(corpus.total_bytes()));
+    for kind in [DictKind::BTree, DictKind::Hash, DictKind::HashPresized(4096)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, kind| {
+                let op = TfIdf::new(TfIdfConfig {
+                    dict_kind: *kind,
+                    charge_input_io: false,
+                    ..Default::default()
+                });
+                let exec = Exec::sequential();
+                b.iter(|| {
+                    let model = op.fit(&exec, &corpus);
+                    std::hint::black_box(model.vectors.len())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_kmeans_fit(c: &mut Criterion) {
+    let corpus = corpus();
+    let exec = Exec::sequential();
+    let model = TfIdf::new(TfIdfConfig {
+        charge_input_io: false,
+        ..Default::default()
+    })
+    .fit(&exec, &corpus);
+    let dim = model.vocab.len();
+    let cfg = KMeansConfig {
+        k: 8,
+        max_iters: 5,
+        tol: 0.0,
+        seed: 3,
+        ..Default::default()
+    };
+
+    let mut g = c.benchmark_group("kmeans_fit_5_iters");
+    g.sample_size(15);
+    g.throughput(Throughput::Elements(corpus.len() as u64));
+    g.bench_function("optimized_sparse", |b| {
+        b.iter(|| {
+            let fitted = KMeans::new(cfg).fit(&exec, &model.vectors, dim);
+            std::hint::black_box(fitted.inertia)
+        })
+    });
+    g.bench_function("recycling_off", |b| {
+        let mut no_recycle = cfg;
+        no_recycle.recycle_buffers = false;
+        b.iter(|| {
+            let fitted = KMeans::new(no_recycle).fit(&exec, &model.vectors, dim);
+            std::hint::black_box(fitted.inertia)
+        })
+    });
+    g.finish();
+
+    // The dense baseline is orders of magnitude slower; bench it on a
+    // small slice so the group still completes quickly.
+    let slice = &model.vectors[..model.vectors.len().min(12)];
+    let mut g = c.benchmark_group("kmeans_baseline_dense");
+    g.sample_size(10);
+    g.bench_function("simple_kmeans_12_docs", |b| {
+        b.iter(|| {
+            let fitted = SimpleKMeans::new(KMeansConfig {
+                k: 4,
+                max_iters: 2,
+                tol: 0.0,
+                seed: 3,
+                ..Default::default()
+            })
+            .fit(slice, dim);
+            std::hint::black_box(fitted.inertia)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tfidf_fit, bench_kmeans_fit);
+criterion_main!(benches);

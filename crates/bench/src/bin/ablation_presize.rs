@@ -1,0 +1,65 @@
+//! Ablation — hash-dictionary pre-sizing (§3.4).
+//!
+//! The paper pre-sizes its `unordered_map`s to 4 K items "to minimize
+//! resizing overhead", then finds the resulting sparse, very large bucket
+//! arrays are exactly what makes the u-map configuration memory-hungry.
+//! This ablation sweeps the pre-size across the word-count phase and
+//! reports modelled time (1 and 16 simulated cores), modelled resident
+//! memory, and the actual Rust heap of the structures.
+
+use hpa_bench::BenchConfig;
+use hpa_dict::DictKind;
+use hpa_metrics::{fmt_bytes, ExperimentReport, Table};
+use hpa_tfidf::{TfIdf, TfIdfConfig};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let mut report = ExperimentReport::new(
+        "ablation_presize",
+        "Dictionary pre-sizing sweep: input+wc cost and memory footprint on Mix",
+        &cfg.mode.describe(),
+        &cfg.scale_label(),
+    );
+    let corpus = cfg.mix();
+
+    let variants: Vec<(String, DictKind)> = vec![
+        ("u-map (no presize)".into(), DictKind::Hash),
+        ("u-map presize 512".into(), DictKind::HashPresized(512)),
+        ("u-map presize 4096 (paper)".into(), DictKind::HashPresized(4096)),
+        ("u-map presize 16384".into(), DictKind::HashPresized(16384)),
+        ("map".into(), DictKind::BTree),
+    ];
+
+    let mut table = Table::new(
+        "input+wc phase",
+        &["dictionary", "1-core (s)", "16-core (s)", "modelled resident", "Rust heap"],
+    );
+    for (label, kind) in variants {
+        let op = TfIdf::new(TfIdfConfig {
+            dict_kind: kind,
+            grain: 0,
+            charge_input_io: true,
+            ..Default::default()
+        });
+        let time_at = |cores: usize| {
+            let exec = cfg.mode.exec(cores);
+            let t0 = exec.now();
+            let _ = op.count_words(&exec, &corpus);
+            (exec.now() - t0).as_secs_f64()
+        };
+        let t1 = time_at(1);
+        let t16 = time_at(16);
+        let counts = op.count_words(&hpa_exec::Exec::sequential(), &corpus);
+        table.row(&[
+            label.clone(),
+            format!("{t1:.3}"),
+            format!("{t16:.3}"),
+            fmt_bytes(counts.modeled_resident_bytes()),
+            fmt_bytes(counts.heap_bytes()),
+        ]);
+        eprintln!("{label}: 1c {t1:.3}s, 16c {t16:.3}s");
+    }
+    report.add_table(table);
+    report.note("the paper's 4K presize trades rehashing for sparse-array memory pressure");
+    cfg.emit(&report);
+}

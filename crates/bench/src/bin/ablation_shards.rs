@@ -1,0 +1,113 @@
+//! Ablation — sharded dictionary merging (extension beyond the paper).
+//!
+//! The word-count phase ends by merging per-thread document-frequency
+//! dictionaries; that merge is serial in the paper's design and part of
+//! what caps Figure 2's speedup. `ShardedDict` partitions words by hash
+//! so matching shards merge independently — a parallelizable merge.
+//! This ablation builds per-thread dictionaries from real corpus chunks
+//! and measures the merge step: plain serial merge vs sharded parallel
+//! merge (real wall time on this host, plus the counted totals as a
+//! correctness check).
+
+use hpa_bench::BenchConfig;
+use hpa_corpus::Tokenizer;
+use hpa_dict::{sharded::ShardedDict, AnyDict, DictKind, Dictionary};
+use hpa_exec::Exec;
+use hpa_metrics::{ExperimentReport, Stopwatch, Table};
+use parking_lot::Mutex;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let mut report = ExperimentReport::new(
+        "ablation_shards",
+        "Serial vs sharded-parallel merge of per-thread DF dictionaries (Mix)",
+        "real execution on this host",
+        &cfg.scale_label(),
+    );
+    let corpus = cfg.mix();
+    let partitions = 16; // as if counted by 16 threads
+
+    // Build the per-partition word counts once.
+    let ranges = hpa_exec::chunk_ranges(corpus.len(), corpus.len().div_ceil(partitions));
+    let build_plain = |kind: DictKind| -> Vec<AnyDict> {
+        ranges
+            .iter()
+            .map(|r| {
+                let mut d = kind.new_dict();
+                let mut tok = Tokenizer::new();
+                for i in r.clone() {
+                    tok.for_each(&corpus.doc(i).text, |w| {
+                        d.add(w, 1);
+                    });
+                }
+                d
+            })
+            .collect()
+    };
+    let build_sharded = |kind: DictKind, shards: usize| -> Vec<ShardedDict> {
+        ranges
+            .iter()
+            .map(|r| {
+                let mut d = ShardedDict::new(kind, shards);
+                let mut tok = Tokenizer::new();
+                for i in r.clone() {
+                    tok.for_each(&corpus.doc(i).text, |w| {
+                        d.add(w, 1);
+                    });
+                }
+                d
+            })
+            .collect()
+    };
+
+    let mut table = Table::new(
+        "merging 16 per-thread dictionaries",
+        &["strategy", "merge wall time (s)", "distinct words"],
+    );
+
+    for kind in [DictKind::BTree, DictKind::Hash] {
+        // Serial merge (the paper's structure).
+        let parts = build_plain(kind);
+        let sw = Stopwatch::start();
+        let mut total = kind.new_dict();
+        for p in &parts {
+            total.merge_from(p);
+        }
+        let serial = sw.elapsed().as_secs_f64();
+        table.row(&[
+            format!("serial, {}", kind.label()),
+            format!("{serial:.4}"),
+            total.len().to_string(),
+        ]);
+
+        // Sharded merge, parallel across shards on the real pool: shard
+        // `s` of every partition merges into accumulator shard `s`, with
+        // no cross-shard interaction.
+        for shards in [4usize, 16] {
+            let mut parts = build_sharded(kind, shards).into_iter();
+            let first = parts.next().expect("at least one partition");
+            let rest: Vec<ShardedDict> = parts.collect();
+            let exec = Exec::pool(4.min(shards));
+            let sw = Stopwatch::start();
+            let acc_shards: Vec<Mutex<AnyDict>> =
+                first.into_shards().into_iter().map(Mutex::new).collect();
+            exec.par_for(shards, 1, |s| {
+                let mut a = acc_shards[s].lock();
+                for p in &rest {
+                    a.merge_from(p.shard(s));
+                }
+            });
+            let parallel = sw.elapsed().as_secs_f64();
+            let distinct: usize = acc_shards.iter().map(|s| s.lock().len()).sum();
+            table.row(&[
+                format!("sharded x{shards}, {}", kind.label()),
+                format!("{parallel:.4}"),
+                distinct.to_string(),
+            ]);
+            eprintln!("{} x{shards}: {parallel:.4}s (serial {serial:.4}s)", kind.label());
+        }
+    }
+    report.add_table(table);
+    report.note("sharded merges parallelize; on a 1-core host the win is limited to locality (run on multicore for the full effect)");
+    cfg.emit(&report);
+}

@@ -1,0 +1,131 @@
+//! Render the paper's figures as SVG from the harness's CSV output.
+//!
+//! Run the figure binaries first (they write CSVs), then:
+//!
+//! ```sh
+//! cargo run --release -p hpa-bench --bin plot_figures -- --dir results/full
+//! ```
+//!
+//! Produces `figure1.svg` / `figure2.svg` (speedup line charts) and
+//! `figure3.svg` / `figure4.svg` (stacked phase bars) alongside the CSVs.
+
+use hpa_metrics::svg::{Bar, LineChart, StackedBarChart};
+use hpa_metrics::Series;
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = args
+        .iter()
+        .position(|a| a == "--dir")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+
+    let mut made = 0;
+    made += plot_speedup(&dir, "figure1_2.csv", "figure1.svg",
+        "Figure 1: Self-relative scalability of the K-Means operator");
+    // figure1's speedup table is its 3rd table (index 2); figure2's is
+    // also its 3rd. Fall back to index 0 layouts for robustness.
+    made += plot_speedup(&dir, "figure2_2.csv", "figure2.svg",
+        "Figure 2: Self-relative scalability of the TF/IDF operator");
+    made += plot_phases(&dir, "figure3_0.csv", "figure3.svg",
+        "Figure 3: discrete vs merged workflow (NSF Abstracts)");
+    made += plot_phases(&dir, "figure4_0.csv", "figure4.svg",
+        "Figure 4: map vs u-map dictionaries (Mix)");
+    if made == 0 {
+        eprintln!(
+            "no plottable CSVs found in {} — run the figure binaries first",
+            dir.display()
+        );
+        std::process::exit(1);
+    }
+    println!("rendered {made} figure(s) into {}", dir.display());
+}
+
+/// Parse a simple CSV (no quoted cells in our numeric outputs).
+fn read_csv(path: &Path) -> Option<(Vec<String>, Vec<Vec<String>>)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    let headers: Vec<String> = lines.next()?.split(',').map(str::to_string).collect();
+    let rows = lines
+        .map(|l| l.split(',').map(str::to_string).collect())
+        .collect();
+    Some((headers, rows))
+}
+
+/// Speedup CSV: `threads,<series1>,<series2>,...`
+fn plot_speedup(dir: &Path, csv: &str, out: &str, title: &str) -> usize {
+    let Some((headers, rows)) = read_csv(&dir.join(csv)) else {
+        return 0;
+    };
+    if headers.len() < 2 || headers[0] != "threads" {
+        eprintln!("{csv}: not a speedup table, skipping");
+        return 0;
+    }
+    let mut series: Vec<Series> = headers[1..].iter().map(|h| Series::new(h)).collect();
+    for row in rows {
+        let Some(x) = row.first().and_then(|v| v.parse::<f64>().ok()) else {
+            continue;
+        };
+        for (s, cell) in series.iter_mut().zip(&row[1..]) {
+            if let Ok(y) = cell.parse::<f64>() {
+                s.push(x, y);
+            }
+        }
+    }
+    let chart = LineChart {
+        title: title.to_string(),
+        x_label: "Number of Threads".to_string(),
+        y_label: "Self-Relative Speedup".to_string(),
+        series,
+    };
+    write_svg(dir, out, &chart.to_svg())
+}
+
+/// Phase CSV: `threads,variant,<phase1>,...,total` (figure 3) or
+/// `threads,dict,<phase1>,...,total` (figure 4).
+fn plot_phases(dir: &Path, csv: &str, out: &str, title: &str) -> usize {
+    let Some((headers, rows)) = read_csv(&dir.join(csv)) else {
+        return 0;
+    };
+    if headers.len() < 4 || headers[0] != "threads" {
+        eprintln!("{csv}: not a phase table, skipping");
+        return 0;
+    }
+    let phase_cols = 2..headers.len() - 1; // drop threads/variant and total
+    let bars: Vec<Bar> = rows
+        .iter()
+        .filter(|r| r.len() == headers.len())
+        .map(|r| Bar {
+            label: format!("{}/{}", r[0], r[1]),
+            segments: phase_cols
+                .clone()
+                .filter_map(|c| {
+                    let v: f64 = r[c].parse().ok()?;
+                    (v > 0.0).then(|| (headers[c].clone(), v))
+                })
+                .collect(),
+        })
+        .collect();
+    let chart = StackedBarChart {
+        title: title.to_string(),
+        y_label: "Execution Time (s)".to_string(),
+        bars,
+    };
+    write_svg(dir, out, &chart.to_svg())
+}
+
+fn write_svg(dir: &Path, name: &str, svg: &str) -> usize {
+    let path = dir.join(name);
+    match std::fs::write(&path, svg) {
+        Ok(()) => {
+            println!("wrote {}", path.display());
+            1
+        }
+        Err(e) => {
+            eprintln!("could not write {}: {e}", path.display());
+            0
+        }
+    }
+}

@@ -1,0 +1,358 @@
+#![warn(missing_docs)]
+//! Operator and workflow framework — the paper's primary contribution.
+//!
+//! §3.3 of the paper: analytics workflows compose operators, and the
+//! composition strategy matters as much as the operators themselves.
+//! *Discrete* composition runs each operator separately, communicating
+//! through files on disk (here, ARFF — WEKA's format, as in the paper);
+//! *fused* ("merged") composition links the operators into one binary and
+//! hands intermediates over in memory. The paper's Figure 3 shows the
+//! discrete workflow's I/O adding 36.9% at one thread and making the
+//! 16-thread execution 3.84× slower, because the ARFF round-trip neither
+//! parallelizes nor shrinks with thread count.
+//!
+//! This crate provides:
+//!
+//! * [`Operator`] — a typed operator interface with phase-timed execution
+//!   (every stage records its phases under the paper's names:
+//!   `input+wc`, `transform`, `tfidf-output`, `kmeans-input`, `kmeans`,
+//!   `output`);
+//! * [`ops`] — the TF/IDF and K-means stages as operators;
+//! * [`WorkflowBuilder`] / [`Workflow`] — the composed TF/IDF → K-means
+//!   workflow with a [`Strategy`] switch between `Discrete` and `Fused`.
+
+pub mod operator;
+pub mod ops;
+pub mod pipeline;
+
+pub use operator::{Operator, OperatorCtx};
+pub use pipeline::TrainedPipeline;
+
+use hpa_arff::ArffError;
+use hpa_corpus::Corpus;
+use hpa_exec::Exec;
+use hpa_kmeans::KMeansConfig;
+use hpa_metrics::{PhaseReport, PhaseTimer};
+use hpa_tfidf::TfIdfConfig;
+use std::path::PathBuf;
+
+/// Workflow composition strategy (the independent variable of Figure 3).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// One binary, in-memory hand-off ("merged" in the paper).
+    #[default]
+    Fused,
+    /// Separate operators communicating through an ARFF file in the given
+    /// directory (a fresh temporary directory when `None`).
+    Discrete {
+        /// Directory for the intermediate file.
+        dir: Option<PathBuf>,
+    },
+}
+
+/// Errors a workflow run can surface.
+#[derive(Debug)]
+pub enum WorkflowError {
+    /// ARFF encode/decode failure on the intermediate.
+    Arff(ArffError),
+    /// Filesystem failure around the intermediate or output files.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkflowError::Arff(e) => write!(f, "workflow arff error: {e}"),
+            WorkflowError::Io(e) => write!(f, "workflow i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+impl From<ArffError> for WorkflowError {
+    fn from(e: ArffError) -> Self {
+        WorkflowError::Arff(e)
+    }
+}
+
+impl From<std::io::Error> for WorkflowError {
+    fn from(e: std::io::Error) -> Self {
+        WorkflowError::Io(e)
+    }
+}
+
+/// Result of a workflow run: the clustering plus full phase timing.
+#[derive(Debug)]
+pub struct WorkflowOutcome {
+    /// Cluster assignment per document.
+    pub assignments: Vec<u32>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+    /// Vocabulary size (TF/IDF matrix dimensionality).
+    pub dim: usize,
+    /// Per-phase times, under the paper's phase names, measured on the
+    /// executor's clock (virtual under simulation).
+    pub phases: PhaseReport,
+    /// The serialized cluster-assignment output ("output" phase product).
+    pub output: Vec<u8>,
+}
+
+/// Builder for the TF/IDF → K-means workflow.
+#[derive(Debug, Clone, Default)]
+pub struct WorkflowBuilder {
+    tfidf: TfIdfConfig,
+    kmeans: KMeansConfig,
+}
+
+impl WorkflowBuilder {
+    /// Start from default operator configurations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the TF/IDF configuration.
+    pub fn tfidf(mut self, config: TfIdfConfig) -> Self {
+        self.tfidf = config;
+        self
+    }
+
+    /// Set the K-means configuration.
+    pub fn kmeans(mut self, config: KMeansConfig) -> Self {
+        self.kmeans = config;
+        self
+    }
+
+    /// Finish as a fused ("merged") workflow.
+    pub fn fused(self) -> Workflow {
+        Workflow {
+            tfidf: self.tfidf,
+            kmeans: self.kmeans,
+            strategy: Strategy::Fused,
+        }
+    }
+
+    /// Finish as a discrete workflow using a fresh temporary directory
+    /// for the intermediate ARFF file.
+    pub fn discrete(self) -> Workflow {
+        Workflow {
+            tfidf: self.tfidf,
+            kmeans: self.kmeans,
+            strategy: Strategy::Discrete { dir: None },
+        }
+    }
+
+    /// Finish as a discrete workflow with an explicit intermediate
+    /// directory.
+    pub fn discrete_in(self, dir: PathBuf) -> Workflow {
+        Workflow {
+            tfidf: self.tfidf,
+            kmeans: self.kmeans,
+            strategy: Strategy::Discrete { dir: Some(dir) },
+        }
+    }
+}
+
+/// The composed TF/IDF → K-means workflow.
+#[derive(Debug, Clone)]
+pub struct Workflow {
+    /// TF/IDF stage configuration.
+    pub tfidf: TfIdfConfig,
+    /// K-means stage configuration.
+    pub kmeans: KMeansConfig,
+    /// Composition strategy.
+    pub strategy: Strategy,
+}
+
+impl Workflow {
+    /// Run the workflow on `corpus` under `exec`.
+    pub fn run(&self, corpus: &Corpus, exec: &Exec) -> Result<WorkflowOutcome, WorkflowError> {
+        let mut timer = PhaseTimer::new();
+        let mut ctx = OperatorCtx {
+            exec,
+            timer: &mut timer,
+        };
+
+        let tfidf_op = ops::TfIdfOp::new(self.tfidf);
+        let kmeans_op = ops::KMeansOp::new(self.kmeans);
+
+        let (vectors, dim) = match &self.strategy {
+            Strategy::Fused => {
+                let model = tfidf_op.run(&mut ctx, corpus)?;
+                let dim = model.vocab.len();
+                (model.vectors, dim)
+            }
+            Strategy::Discrete { dir } => {
+                let model = tfidf_op.run(&mut ctx, corpus)?;
+
+                // Materialize the intermediate to disk, then read it back
+                // — the discrete workflow's extra cost. Serial in both
+                // directions, per the ARFF format.
+                let tmp;
+                let dir = match dir {
+                    Some(d) => d.clone(),
+                    None => {
+                        tmp = std::env::temp_dir().join(format!(
+                            "hpa_workflow_{}_{}",
+                            std::process::id(),
+                            corpus.name.replace(' ', "_")
+                        ));
+                        tmp.clone()
+                    }
+                };
+                std::fs::create_dir_all(&dir)?;
+                let path = dir.join("tfidf.arff");
+
+                let t0 = ctx.exec.now();
+                let file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+                hpa_tfidf::write_arff(ctx.exec, &model, file)?;
+                ctx.timer.record("tfidf-output", ctx.exec.now() - t0);
+                drop(model);
+
+                let t0 = ctx.exec.now();
+                let file = std::io::BufReader::new(std::fs::File::open(&path)?);
+                let (vectors, dim) = hpa_tfidf::read_arff(ctx.exec, file)?;
+                ctx.timer.record("kmeans-input", ctx.exec.now() - t0);
+                std::fs::remove_file(&path).ok();
+                (vectors, dim)
+            }
+        };
+
+        let model = kmeans_op.run(&mut ctx, (&vectors, dim))?;
+
+        // Final "output" phase: serialize the clustering (serial).
+        let t0 = ctx.exec.now();
+        let output = ctx.exec.serial_costed(|| {
+            let mut out = Vec::with_capacity(model.assignments.len() * 12);
+            use std::io::Write as _;
+            for (i, a) in model.assignments.iter().enumerate() {
+                let _ = writeln!(out, "{i},{a}");
+            }
+            // Buffered write of the (small) assignment file: formatting
+            // CPU plus the page-cache copy.
+            let cost = hpa_exec::TaskCost {
+                cpu_ns: (out.len() as f64 * 1.2) as u64,
+                mem_bytes: out.len() as u64 * 2,
+                ..Default::default()
+            };
+            (out, cost)
+        });
+        timer.record("output", exec.now() - t0);
+
+        Ok(WorkflowOutcome {
+            assignments: model.assignments,
+            inertia: model.inertia,
+            iterations: model.iterations,
+            dim,
+            phases: timer.finish(),
+            output,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpa_corpus::CorpusSpec;
+    use hpa_dict::DictKind;
+
+    fn small_corpus() -> Corpus {
+        CorpusSpec::mix().scaled(0.002).generate(5)
+    }
+
+    fn builder() -> WorkflowBuilder {
+        WorkflowBuilder::new()
+            .tfidf(TfIdfConfig {
+                dict_kind: DictKind::BTree,
+                grain: 0,
+                charge_input_io: true,
+                ..Default::default()
+            })
+            .kmeans(KMeansConfig {
+                k: 4,
+                max_iters: 10,
+                seed: 3,
+                grain: 16,
+                ..Default::default()
+            })
+    }
+
+    #[test]
+    fn fused_runs_and_records_paper_phases() {
+        let exec = Exec::sequential();
+        let corpus = small_corpus();
+        let out = builder().fused().run(&corpus, &exec).unwrap();
+        assert_eq!(out.assignments.len(), corpus.len());
+        assert_eq!(
+            out.phases.labels(),
+            vec!["input+wc", "transform", "kmeans", "output"]
+        );
+        assert!(!out.output.is_empty());
+    }
+
+    #[test]
+    fn discrete_adds_the_io_phases() {
+        let exec = Exec::sequential();
+        let corpus = small_corpus();
+        let out = builder().discrete().run(&corpus, &exec).unwrap();
+        assert_eq!(
+            out.phases.labels(),
+            vec![
+                "input+wc",
+                "transform",
+                "tfidf-output",
+                "kmeans-input",
+                "kmeans",
+                "output"
+            ]
+        );
+    }
+
+    #[test]
+    fn discrete_and_fused_agree_on_the_clustering() {
+        let exec = Exec::sequential();
+        let corpus = small_corpus();
+        let fused = builder().fused().run(&corpus, &exec).unwrap();
+        let discrete = builder().discrete().run(&corpus, &exec).unwrap();
+        assert_eq!(fused.assignments, discrete.assignments);
+        assert_eq!(fused.dim, discrete.dim);
+        assert!((fused.inertia - discrete.inertia).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulated_discrete_charges_more_io_time_than_fused() {
+        let corpus = small_corpus();
+        let machine = hpa_exec::MachineModel::default();
+        let run = |wf: Workflow| {
+            let exec = Exec::simulated(4, machine);
+            let out = wf.run(&corpus, &exec).unwrap();
+            out.phases.total()
+        };
+        let fused = run(builder().fused());
+        let discrete = run(builder().discrete());
+        assert!(
+            discrete > fused,
+            "discrete {discrete:?} not slower than fused {fused:?}"
+        );
+    }
+
+    #[test]
+    fn output_lists_every_document() {
+        let exec = Exec::sequential();
+        let corpus = small_corpus();
+        let out = builder().fused().run(&corpus, &exec).unwrap();
+        let text = String::from_utf8(out.output.clone()).unwrap();
+        assert_eq!(text.lines().count(), corpus.len());
+        assert!(text.starts_with("0,"));
+    }
+
+    #[test]
+    fn empty_corpus_runs_cleanly() {
+        let exec = Exec::sequential();
+        let out = builder().fused().run(&Corpus::default(), &exec).unwrap();
+        assert!(out.assignments.is_empty());
+        assert_eq!(out.dim, 0);
+    }
+}

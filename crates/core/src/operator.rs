@@ -1,0 +1,144 @@
+//! The typed operator interface.
+//!
+//! An [`Operator`] consumes a typed input and produces a typed output,
+//! recording its phase times into the shared [`PhaseTimer`] through an
+//! [`OperatorCtx`]. Operators compose with [`OperatorExt::then`]; the
+//! concrete TF/IDF → K-means workflow in the crate root adds the
+//! discrete-vs-fused materialization strategy on top.
+
+use crate::WorkflowError;
+use hpa_exec::Exec;
+use hpa_metrics::PhaseTimer;
+
+/// Shared execution context: the executor (whose clock phase times are
+/// measured on — virtual under simulation) and the phase timer.
+pub struct OperatorCtx<'a> {
+    /// Execution substrate.
+    pub exec: &'a Exec,
+    /// Accumulates phase durations across the workflow.
+    pub timer: &'a mut PhaseTimer,
+}
+
+impl OperatorCtx<'_> {
+    /// Run `body` and record its duration (on the executor's clock) under
+    /// `phase`.
+    pub fn timed<R>(&mut self, phase: &str, body: impl FnOnce(&Exec) -> R) -> R {
+        let t0 = self.exec.now();
+        let r = body(self.exec);
+        self.timer.record(phase, self.exec.now() - t0);
+        r
+    }
+}
+
+/// A workflow stage with typed input and output.
+pub trait Operator<In> {
+    /// The stage's product.
+    type Out;
+
+    /// Stage name (for logs and reports).
+    fn name(&self) -> &'static str;
+
+    /// Execute the stage.
+    fn run(&self, ctx: &mut OperatorCtx<'_>, input: In) -> Result<Self::Out, WorkflowError>;
+}
+
+/// Composition helpers for operators.
+pub trait OperatorExt<In>: Operator<In> + Sized {
+    /// Chain another operator after this one (in-memory hand-off).
+    fn then<Next>(self, next: Next) -> Chain<Self, Next>
+    where
+        Next: Operator<Self::Out>,
+    {
+        Chain {
+            first: self,
+            second: next,
+        }
+    }
+}
+
+impl<In, Op: Operator<In>> OperatorExt<In> for Op {}
+
+/// Two operators fused with an in-memory hand-off.
+#[derive(Debug, Clone)]
+pub struct Chain<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<In, A, B> Operator<In> for Chain<A, B>
+where
+    A: Operator<In>,
+    B: Operator<A::Out>,
+{
+    type Out = B::Out;
+
+    fn name(&self) -> &'static str {
+        "chain"
+    }
+
+    fn run(&self, ctx: &mut OperatorCtx<'_>, input: In) -> Result<Self::Out, WorkflowError> {
+        let mid = self.first.run(ctx, input)?;
+        self.second.run(ctx, mid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpa_exec::TaskCost;
+
+    struct AddOne;
+    impl Operator<u32> for AddOne {
+        type Out = u32;
+        fn name(&self) -> &'static str {
+            "add-one"
+        }
+        fn run(&self, ctx: &mut OperatorCtx<'_>, input: u32) -> Result<u32, WorkflowError> {
+            Ok(ctx.timed("add", |_| input + 1))
+        }
+    }
+
+    struct Double;
+    impl Operator<u32> for Double {
+        type Out = u32;
+        fn name(&self) -> &'static str {
+            "double"
+        }
+        fn run(&self, ctx: &mut OperatorCtx<'_>, input: u32) -> Result<u32, WorkflowError> {
+            Ok(ctx.timed("double", |_| input * 2))
+        }
+    }
+
+    #[test]
+    fn chain_threads_values_and_phases() {
+        let exec = Exec::sequential();
+        let mut timer = PhaseTimer::new();
+        let mut ctx = OperatorCtx {
+            exec: &exec,
+            timer: &mut timer,
+        };
+        let out = AddOne.then(Double).run(&mut ctx, 20).unwrap();
+        assert_eq!(out, 42);
+        let report = timer.finish();
+        assert_eq!(report.labels(), vec!["add", "double"]);
+    }
+
+    #[test]
+    fn timed_uses_virtual_clock_under_simulation() {
+        let exec = hpa_exec::Exec::simulated_with(
+            2,
+            hpa_exec::MachineModel::frictionless(),
+            hpa_exec::CostMode::Analytic,
+        );
+        let mut timer = PhaseTimer::new();
+        let mut ctx = OperatorCtx {
+            exec: &exec,
+            timer: &mut timer,
+        };
+        ctx.timed("work", |exec| {
+            exec.serial(TaskCost::cpu(5_000_000), || ());
+        });
+        let report = timer.finish();
+        assert_eq!(report.get("work"), Some(std::time::Duration::from_millis(5)));
+    }
+}

@@ -1,0 +1,349 @@
+//! Trained-pipeline persistence and prediction.
+//!
+//! The paper's workflow ends at cluster assignments, but a downstream
+//! user wants to *keep* the fitted model and classify new documents with
+//! it. [`TrainedPipeline`] bundles what that takes — the vocabulary with
+//! its document frequencies (to reproduce training-time IDF weights) and
+//! the K-means centroids — with a versioned plain-text serialization and
+//! a parallel nearest-centroid predictor.
+
+use crate::{ops, OperatorCtx, WorkflowError};
+use hpa_corpus::{Corpus, Tokenizer};
+use hpa_dict::{DictKind, Dictionary as _};
+use hpa_exec::{Exec, TaskCost};
+use hpa_kmeans::KMeansConfig;
+use hpa_metrics::PhaseTimer;
+use hpa_sparse::{squared_distance_to_centroid, DenseVec, SparseVec};
+use hpa_tfidf::{TfIdfConfig, Vocab};
+use parking_lot::Mutex;
+use std::io::{BufRead, Write};
+
+/// A fitted TF/IDF → K-means pipeline, ready to classify new documents.
+#[derive(Debug, Clone)]
+pub struct TrainedPipeline {
+    /// Dictionary kind used for the vocabulary index at prediction time.
+    pub dict_kind: DictKind,
+    /// Term vocabulary with training-time document frequencies.
+    pub vocab: Vocab,
+    /// Number of training documents (the `N` of the IDF formula).
+    pub num_docs: usize,
+    /// Cluster centroids in TF/IDF space.
+    pub centroids: Vec<DenseVec>,
+}
+
+/// Errors loading a serialized pipeline.
+#[derive(Debug)]
+pub struct PersistError {
+    /// 1-based line number where the problem was found (0 = preamble).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pipeline load error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+const MAGIC: &str = "HPA-PIPELINE v1";
+
+impl TrainedPipeline {
+    /// Train on a corpus: fused TF/IDF → K-means, returning the pipeline
+    /// and the training assignments.
+    pub fn train(
+        corpus: &Corpus,
+        exec: &Exec,
+        tfidf: TfIdfConfig,
+        kmeans: KMeansConfig,
+    ) -> Result<(Self, Vec<u32>), WorkflowError> {
+        use crate::operator::Operator as _;
+        let mut timer = PhaseTimer::new();
+        let mut ctx = OperatorCtx { exec, timer: &mut timer };
+        let model = ops::TfIdfOp::new(tfidf).run(&mut ctx, corpus)?;
+        let fitted = ops::KMeansOp::new(kmeans)
+            .run(&mut ctx, (&model.vectors, model.vocab.len()))?;
+        Ok((
+            TrainedPipeline {
+                dict_kind: model.vocab.kind(),
+                vocab: model.vocab,
+                num_docs: model.num_docs,
+                centroids: fitted.centroids,
+            },
+            fitted.assignments,
+        ))
+    }
+
+    /// Vectorize one document with the *training* vocabulary and IDF.
+    /// Unknown words are ignored (they have no trained weight).
+    pub fn vectorize(&self, text: &str) -> SparseVec {
+        let mut tok = Tokenizer::new();
+        let mut counts = self.dict_kind.new_dict();
+        tok.for_each(text, |w| {
+            counts.add(w, 1);
+        });
+        let mut pairs: Vec<(u32, f64)> = Vec::with_capacity(counts.len());
+        counts.for_each(&mut |word, tf| {
+            if let Some((id, df)) = self.vocab.lookup(word) {
+                let idf = (self.num_docs as f64 / df as f64).ln();
+                pairs.push((id, tf as f64 * idf));
+            }
+        });
+        let mut v = SparseVec::from_pairs(pairs);
+        v.normalize();
+        v
+    }
+
+    /// Assign each document of `corpus` to its nearest trained centroid
+    /// (parallel over documents).
+    pub fn predict(&self, exec: &Exec, corpus: &Corpus) -> Vec<u32> {
+        let norms: Vec<f64> = self.centroids.iter().map(|c| c.norm_sq()).collect();
+        let slots: Vec<Mutex<u32>> = (0..corpus.len()).map(|_| Mutex::new(0)).collect();
+        let docs = corpus.documents();
+        exec.par_for_costed(
+            corpus.len(),
+            0,
+            |i| {
+                let v = self.vectorize(&docs[i].text);
+                let mut best = 0u32;
+                let mut best_d = f64::INFINITY;
+                for (c, centroid) in self.centroids.iter().enumerate() {
+                    let d = squared_distance_to_centroid(&v, centroid, norms[c]);
+                    if d < best_d {
+                        best_d = d;
+                        best = c as u32;
+                    }
+                }
+                *slots[i].lock() = best;
+            },
+            |range| {
+                let bytes: u64 = range.map(|i| docs[i].text.len() as u64).sum();
+                TaskCost::cpu_mem((bytes as f64 * 3.0) as u64, bytes)
+            },
+        );
+        slots.into_iter().map(|s| s.into_inner()).collect()
+    }
+
+    /// Serialize as versioned plain text. Weights round-trip exactly
+    /// (shortest-representation `f64` formatting).
+    pub fn save<W: Write>(&self, mut out: W) -> std::io::Result<()> {
+        writeln!(out, "{MAGIC}")?;
+        writeln!(out, "num_docs {}", self.num_docs)?;
+        writeln!(out, "dict {}", self.dict_kind.label())?;
+        writeln!(out, "vocab {}", self.vocab.len())?;
+        for id in 0..self.vocab.len() as u32 {
+            writeln!(out, "{} {}", self.vocab.word(id), self.vocab.df(id))?;
+        }
+        let dim = self.centroids.first().map_or(0, |c| c.len());
+        writeln!(out, "centroids {} {}", self.centroids.len(), dim)?;
+        for c in &self.centroids {
+            let mut first = true;
+            for x in c.as_slice() {
+                if !first {
+                    write!(out, " ")?;
+                }
+                write!(out, "{x}")?;
+                first = false;
+            }
+            writeln!(out)?;
+        }
+        out.flush()
+    }
+
+    /// Load a pipeline serialized by [`TrainedPipeline::save`].
+    pub fn load<R: BufRead>(input: R) -> Result<Self, PersistError> {
+        let mut lines = input.lines().enumerate();
+        let mut next = |what: &str| -> Result<(usize, String), PersistError> {
+            match lines.next() {
+                Some((i, Ok(l))) => Ok((i + 1, l)),
+                Some((i, Err(e))) => Err(PersistError {
+                    line: i + 1,
+                    message: format!("i/o error: {e}"),
+                }),
+                None => Err(PersistError {
+                    line: 0,
+                    message: format!("unexpected end of file, expected {what}"),
+                }),
+            }
+        };
+        let err = |line: usize, message: String| PersistError { line, message };
+
+        let (l, magic) = next("magic header")?;
+        if magic.trim() != MAGIC {
+            return Err(err(l, format!("bad magic '{magic}', expected '{MAGIC}'")));
+        }
+        let (l, nd) = next("num_docs")?;
+        let num_docs: usize = nd
+            .strip_prefix("num_docs ")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| err(l, format!("bad num_docs line '{nd}'")))?;
+        let (l, dk) = next("dict")?;
+        let dict_kind: DictKind = dk
+            .strip_prefix("dict ")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| err(l, format!("bad dict line '{dk}'")))?;
+        let (l, vc) = next("vocab")?;
+        let vocab_len: usize = vc
+            .strip_prefix("vocab ")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| err(l, format!("bad vocab line '{vc}'")))?;
+
+        let mut df_dict = dict_kind.new_dict();
+        let mut last_word: Option<String> = None;
+        for _ in 0..vocab_len {
+            let (l, entry) = next("vocabulary entry")?;
+            let (word, df) = entry
+                .rsplit_once(' ')
+                .ok_or_else(|| err(l, format!("bad vocab entry '{entry}'")))?;
+            let df: u64 = df.parse().map_err(|_| err(l, format!("bad df in '{entry}'")))?;
+            if let Some(prev) = &last_word {
+                if prev.as_str() >= word {
+                    return Err(err(l, format!("vocabulary not sorted at '{word}'")));
+                }
+            }
+            last_word = Some(word.to_string());
+            df_dict.insert(word, df);
+        }
+        let vocab = Vocab::from_df_dict(dict_kind, &df_dict);
+
+        let (l, ch) = next("centroids header")?;
+        let rest = ch
+            .strip_prefix("centroids ")
+            .ok_or_else(|| err(l, format!("bad centroids line '{ch}'")))?;
+        let (k_s, dim_s) = rest
+            .split_once(' ')
+            .ok_or_else(|| err(l, format!("bad centroids line '{ch}'")))?;
+        let k: usize = k_s.parse().map_err(|_| err(l, format!("bad k '{k_s}'")))?;
+        let dim: usize = dim_s
+            .parse()
+            .map_err(|_| err(l, format!("bad dim '{dim_s}'")))?;
+        let mut centroids = Vec::with_capacity(k);
+        for _ in 0..k {
+            let (l, row) = next("centroid row")?;
+            let values: Result<Vec<f64>, _> =
+                row.split_whitespace().map(str::parse::<f64>).collect();
+            let values = values.map_err(|e| err(l, format!("bad centroid value: {e}")))?;
+            if values.len() != dim {
+                return Err(err(
+                    l,
+                    format!("centroid has {} values, expected {dim}", values.len()),
+                ));
+            }
+            centroids.push(DenseVec::from_vec(values));
+        }
+        Ok(TrainedPipeline {
+            dict_kind,
+            vocab,
+            num_docs,
+            centroids,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpa_corpus::CorpusSpec;
+
+    fn train_small() -> (TrainedPipeline, Vec<u32>, Corpus) {
+        let corpus = CorpusSpec::mix().scaled(0.002).generate(23);
+        let exec = Exec::sequential();
+        let (pipeline, assignments) = TrainedPipeline::train(
+            &corpus,
+            &exec,
+            TfIdfConfig::default(),
+            KMeansConfig {
+                k: 4,
+                max_iters: 10,
+                seed: 8,
+                grain: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (pipeline, assignments, corpus)
+    }
+
+    #[test]
+    fn predict_on_training_data_matches_final_assignment() {
+        let (pipeline, assignments, corpus) = train_small();
+        // Training assignments are the argmin against the *pre-recompute*
+        // centroids; predict uses the final centroids, so it equals one
+        // extra Lloyd assignment step. On converged runs they coincide.
+        let predicted = pipeline.predict(&Exec::sequential(), &corpus);
+        let agree = predicted
+            .iter()
+            .zip(&assignments)
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(
+            agree as f64 >= 0.9 * corpus.len() as f64,
+            "only {agree}/{} predictions match training assignments",
+            corpus.len()
+        );
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_predictions() {
+        let (pipeline, _, corpus) = train_small();
+        let mut bytes = Vec::new();
+        pipeline.save(&mut bytes).unwrap();
+        let loaded = TrainedPipeline::load(std::io::Cursor::new(&bytes)).unwrap();
+        assert_eq!(loaded.num_docs, pipeline.num_docs);
+        assert_eq!(loaded.vocab.len(), pipeline.vocab.len());
+        assert_eq!(loaded.centroids.len(), pipeline.centroids.len());
+        let exec = Exec::sequential();
+        assert_eq!(
+            pipeline.predict(&exec, &corpus),
+            loaded.predict(&exec, &corpus),
+            "loaded pipeline must predict identically"
+        );
+    }
+
+    #[test]
+    fn vectorize_ignores_unknown_words() {
+        let (pipeline, _, _) = train_small();
+        let v = pipeline.vectorize("zzzznotaword qqqqalsonot");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn predict_parallel_matches_sequential() {
+        let (pipeline, _, corpus) = train_small();
+        let seq = pipeline.predict(&Exec::sequential(), &corpus);
+        let par = pipeline.predict(&Exec::pool(3), &corpus);
+        let sim = pipeline.predict(
+            &Exec::simulated(4, hpa_exec::MachineModel::default()),
+            &corpus,
+        );
+        assert_eq!(seq, par);
+        assert_eq!(seq, sim);
+    }
+
+    #[test]
+    fn load_rejects_corrupt_input() {
+        for (input, needle) in [
+            ("", "unexpected end"),
+            ("WRONG MAGIC\n", "bad magic"),
+            ("HPA-PIPELINE v1\nnum_docs x\n", "bad num_docs"),
+            (
+                "HPA-PIPELINE v1\nnum_docs 3\ndict map\nvocab 1\nzeta 1\ncentroids 1 2\n1.0\n",
+                "expected 2",
+            ),
+            (
+                "HPA-PIPELINE v1\nnum_docs 3\ndict map\nvocab 2\nbbb 1\naaa 1\ncentroids 0 0\n",
+                "not sorted",
+            ),
+        ] {
+            let e = TrainedPipeline::load(std::io::Cursor::new(input.as_bytes()))
+                .err()
+                .unwrap_or_else(|| panic!("input {input:?} should fail"));
+            assert!(
+                e.to_string().contains(needle),
+                "error for {input:?} was '{e}', expected to contain '{needle}'"
+            );
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Tokenization.
+//!
+//! The TF/IDF operator "extracts words from text documents": this module
+//! is that extraction step. Tokens are maximal runs of ASCII alphanumeric
+//! characters, lowercased. The tokenizer is allocation-conscious — a
+//! lowercase token is yielded as a borrowed slice of the input; only
+//! tokens containing uppercase letters are copied into a reusable
+//! workhorse buffer (per the "reusing collections" guidance the word-count
+//! inner loop lives by).
+
+/// Reusable tokenizer state (the lowercase scratch buffer).
+#[derive(Debug, Default)]
+pub struct Tokenizer {
+    buf: String,
+}
+
+impl Tokenizer {
+    /// New tokenizer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Invoke `f` once per token of `text`, in order.
+    pub fn for_each<F: FnMut(&str)>(&mut self, text: &str, mut f: F) {
+        let bytes = text.as_bytes();
+        let mut start = None;
+        let mut has_upper = false;
+        for (i, &b) in bytes.iter().enumerate() {
+            if b.is_ascii_alphanumeric() {
+                if start.is_none() {
+                    start = Some(i);
+                    has_upper = false;
+                }
+                has_upper |= b.is_ascii_uppercase();
+            } else if let Some(s) = start.take() {
+                self.emit(&text[s..i], has_upper, &mut f);
+            }
+        }
+        if let Some(s) = start {
+            self.emit(&text[s..], has_upper, &mut f);
+        }
+    }
+
+    /// Count tokens without inspecting them.
+    pub fn count(&mut self, text: &str) -> usize {
+        let mut n = 0;
+        self.for_each(text, |_| n += 1);
+        n
+    }
+
+    fn emit<F: FnMut(&str)>(&mut self, raw: &str, has_upper: bool, f: &mut F) {
+        if has_upper {
+            self.buf.clear();
+            for b in raw.bytes() {
+                self.buf.push(b.to_ascii_lowercase() as char);
+            }
+            f(&self.buf);
+        } else {
+            f(raw);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(text: &str) -> Vec<String> {
+        let mut t = Tokenizer::new();
+        let mut out = Vec::new();
+        t.for_each(text, |w| out.push(w.to_string()));
+        out
+    }
+
+    #[test]
+    fn splits_on_non_alphanumerics() {
+        assert_eq!(toks("the cat, sat.on--the mat!"), ["the", "cat", "sat", "on", "the", "mat"]);
+    }
+
+    #[test]
+    fn lowercases_mixed_case() {
+        assert_eq!(toks("Hello WORLD MiXeD"), ["hello", "world", "mixed"]);
+    }
+
+    #[test]
+    fn digits_are_word_characters() {
+        assert_eq!(toks("grant EP/L027402/1 from 2016"), ["grant", "ep", "l027402", "1", "from", "2016"]);
+    }
+
+    #[test]
+    fn empty_and_separator_only_inputs() {
+        assert!(toks("").is_empty());
+        assert!(toks("  .,;!\n\t ").is_empty());
+    }
+
+    #[test]
+    fn token_at_end_of_text_is_emitted() {
+        assert_eq!(toks("trailing word"), ["trailing", "word"]);
+        assert_eq!(toks("x"), ["x"]);
+    }
+
+    #[test]
+    fn non_ascii_is_a_separator() {
+        // The synthetic corpora are pure ASCII; non-ASCII input must not
+        // panic or merge tokens.
+        assert_eq!(toks("naïve café"), ["na", "ve", "caf"]);
+    }
+
+    #[test]
+    fn count_matches_for_each() {
+        let mut t = Tokenizer::new();
+        let text = "One two, three. FOUR five-six";
+        assert_eq!(t.count(text), toks(text).len());
+    }
+
+    #[test]
+    fn tokenizer_is_reusable_across_calls() {
+        let mut t = Tokenizer::new();
+        let mut first = Vec::new();
+        t.for_each("Alpha beta", |w| first.push(w.to_string()));
+        let mut second = Vec::new();
+        t.for_each("Gamma delta", |w| second.push(w.to_string()));
+        assert_eq!(first, ["alpha", "beta"]);
+        assert_eq!(second, ["gamma", "delta"]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Synthetic vocabulary.
+//!
+//! Maps a Zipf rank to a unique lowercase word. Words are generated once
+//! up front: frequent ranks get short words and rare ranks get longer ones
+//! (as in natural language, where frequent words are short — this keeps
+//! the bytes-per-document calibration honest). Uniqueness is guaranteed by
+//! embedding the rank itself in base-26 at the end of the word; a seeded
+//! prefix varies the look of the text across corpora.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A fixed vocabulary of `n` distinct words indexed by rank.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    words: Vec<Box<str>>,
+}
+
+impl Vocabulary {
+    /// Generate `n` distinct words, deterministically from `seed`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let words = (0..n).map(|rank| make_word(rank, n, &mut rng)).collect();
+        Vocabulary { words }
+    }
+
+    /// The word at `rank` (0 = most frequent).
+    pub fn word(&self, rank: usize) -> &str {
+        &self.words[rank]
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Total bytes across all words.
+    pub fn total_bytes(&self) -> u64 {
+        self.words.iter().map(|w| w.len() as u64).sum()
+    }
+}
+
+fn make_word(rank: usize, n: usize, rng: &mut SmallRng) -> Box<str> {
+    // Unique suffix: rank in base-26.
+    let mut suffix = [0u8; 8];
+    let mut len = 0;
+    let mut r = rank;
+    loop {
+        suffix[len] = b'a' + (r % 26) as u8;
+        len += 1;
+        r /= 26;
+        if r == 0 {
+            break;
+        }
+    }
+    // Frequent words are short: target length grows with log of rank.
+    let fraction = (rank + 1) as f64 / n as f64;
+    let base_len = 2.5 + 6.0 * fraction.sqrt() + rng.gen_range(0.0..2.0);
+    let target = (base_len.round() as usize).clamp(2, 14);
+    let mut word = String::with_capacity(target.max(len));
+    while word.len() + len < target {
+        word.push(rng.gen_range(b'a'..=b'z') as char);
+    }
+    for i in (0..len).rev() {
+        word.push(suffix[i] as char);
+    }
+    word.into_boxed_str()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_words_distinct() {
+        let v = Vocabulary::new(5000, 9);
+        let set: HashSet<&str> = (0..v.len()).map(|r| v.word(r)).collect();
+        assert_eq!(set.len(), 5000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Vocabulary::new(100, 5);
+        let b = Vocabulary::new(100, 5);
+        for r in 0..100 {
+            assert_eq!(a.word(r), b.word(r));
+        }
+        let c = Vocabulary::new(100, 6);
+        assert!((0..100).any(|r| a.word(r) != c.word(r)));
+    }
+
+    #[test]
+    fn words_are_lowercase_ascii() {
+        let v = Vocabulary::new(300, 1);
+        for r in 0..300 {
+            assert!(v.word(r).bytes().all(|b| b.is_ascii_lowercase()));
+            assert!(!v.word(r).is_empty());
+        }
+    }
+
+    #[test]
+    fn frequent_words_shorter_on_average() {
+        let v = Vocabulary::new(10_000, 3);
+        let head: f64 = (0..100).map(|r| v.word(r).len() as f64).sum::<f64>() / 100.0;
+        let tail: f64 = (9900..10_000).map(|r| v.word(r).len() as f64).sum::<f64>() / 100.0;
+        assert!(head + 1.5 < tail, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn average_length_in_text_band() {
+        let v = Vocabulary::new(50_000, 4);
+        let avg = v.total_bytes() as f64 / v.len() as f64;
+        assert!((5.0..11.0).contains(&avg), "avg word length {avg}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Zipf-distributed rank sampling.
+//!
+//! Word frequencies in natural-language text follow Zipf's law: the
+//! `r`-th most frequent word has probability proportional to `1/r^s`
+//! with `s ≈ 1`. The generator samples word ranks from this
+//! distribution via inverse-CDF lookup on a precomputed cumulative table
+//! (O(log V) per sample, exact).
+
+use rand::Rng;
+
+/// A Zipf(`n`, `s`) sampler over ranks `0..n` (rank 0 most frequent).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the cumulative table for `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 1..=n {
+            acc += 1.0 / (r as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against rounding: the last entry must be exactly 1.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Probability of rank `r`.
+    pub fn pmf(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+
+    /// Sample a rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point: first index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(1000, 1.0);
+        let total: f64 = (0..1000).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_zero_is_most_probable() {
+        let z = Zipf::new(100, 1.2);
+        for r in 1..100 {
+            assert!(z.pmf(0) >= z.pmf(r));
+        }
+    }
+
+    #[test]
+    fn zipf_ratio_matches_law() {
+        let z = Zipf::new(10_000, 1.0);
+        // p(1)/p(2) = 2 under s=1 (ranks are 0-based here).
+        let ratio = z.pmf(0) / z.pmf(1);
+        assert!((ratio - 2.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn samples_are_in_range_and_skewed() {
+        let z = Zipf::new(500, 1.0);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut head = 0usize;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            let r = z.sample(&mut rng);
+            assert!(r < 500);
+            if r < 10 {
+                head += 1;
+            }
+        }
+        // Top-10 ranks carry ~43% of mass at s=1, V=500 (H_10/H_500).
+        let frac = head as f64 / N as f64;
+        assert!((0.35..0.52).contains(&frac), "head fraction {frac}");
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for r in 0..4 {
+            assert!((z.pmf(r) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Sharded dictionary — parallel-mergeable word counts.
+//!
+//! An extension beyond the paper: the serial merge of per-thread
+//! document-frequency dictionaries is part of the word-count phase's
+//! serial tail. Sharding by word hash makes the merge embarrassingly
+//! parallel — shard `s` of one dictionary only ever merges with shard `s`
+//! of another — at the cost of one hash per update. The `ablation_shards`
+//! benchmark quantifies the trade-off; this addresses one of the "open
+//! challenges" the paper's conclusion gestures at (structures whose best
+//! configuration depends on the degree of parallelism).
+
+use crate::{AnyDict, DictKind, Dictionary};
+use std::hash::{Hash, Hasher};
+
+/// A dictionary split into `S` independent shards by word hash.
+#[derive(Debug, Clone)]
+pub struct ShardedDict {
+    shards: Vec<AnyDict>,
+}
+
+fn shard_of(word: &str, shards: usize) -> usize {
+    // FNV-1a: stable across processes (unlike `DefaultHasher` seeds would
+    // be if randomized), so shard assignment is deterministic.
+    let mut h = 0xcbf29ce484222325u64;
+    for b in word.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % shards as u64) as usize
+}
+
+impl ShardedDict {
+    /// Create with `shards` shards of the given kind. At least one.
+    pub fn new(kind: DictKind, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        ShardedDict {
+            shards: (0..shards).map(|_| kind.new_dict()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Immutable access to one shard.
+    pub fn shard(&self, s: usize) -> &AnyDict {
+        &self.shards[s]
+    }
+
+    /// Merge the matching shards of `other` into `self`. The per-shard
+    /// merges are independent; callers with an executor can parallelize
+    /// with [`ShardedDict::merge_shard_from`].
+    pub fn merge_from(&mut self, other: &ShardedDict) {
+        assert_eq!(
+            self.shards.len(),
+            other.shards.len(),
+            "shard counts must match"
+        );
+        for (a, b) in self.shards.iter_mut().zip(&other.shards) {
+            a.merge_from(b);
+        }
+    }
+
+    /// Merge shard `s` of `other` into shard `s` of `self` — the unit of
+    /// parallel merging.
+    pub fn merge_shard_from(&mut self, s: usize, other: &ShardedDict) {
+        self.shards[s].merge_from(&other.shards[s]);
+    }
+
+    /// Split into the underlying shards (for scatter/gather schemes).
+    pub fn into_shards(self) -> Vec<AnyDict> {
+        self.shards
+    }
+}
+
+impl Dictionary for ShardedDict {
+    fn add(&mut self, word: &str, delta: u64) -> u64 {
+        let s = shard_of(word, self.shards.len());
+        self.shards[s].add(word, delta)
+    }
+
+    fn insert(&mut self, word: &str, value: u64) {
+        let s = shard_of(word, self.shards.len());
+        self.shards[s].insert(word, value);
+    }
+
+    fn get(&self, word: &str) -> Option<u64> {
+        self.shards[shard_of(word, self.shards.len())].get(word)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    fn for_each_sorted(&self, f: &mut dyn FnMut(&str, u64)) {
+        // Shards partition by hash, not by order: k-way merge of the
+        // shards' sorted streams. Collect-and-sort is simpler and the
+        // call is outside any hot loop.
+        let mut entries: Vec<(String, u64)> = Vec::with_capacity(self.len());
+        for s in &self.shards {
+            s.for_each(&mut |w, v| entries.push((w.to_string(), v)));
+        }
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for (w, v) in &entries {
+            f(w, *v);
+        }
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&str, u64)) {
+        for s in &self.shards {
+            s.for_each(f);
+        }
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        ShardedDict::merge_from(self, other);
+    }
+
+    fn heap_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.heap_bytes()).sum()
+    }
+}
+
+/// Sharding also has to hash deterministically for tests.
+impl Hash for ShardedDict {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.len().hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behaves_like_a_dictionary() {
+        let mut d = ShardedDict::new(DictKind::BTree, 4);
+        assert_eq!(d.add("alpha", 2), 2);
+        assert_eq!(d.add("alpha", 1), 3);
+        d.add("beta", 5);
+        d.insert("beta", 1);
+        assert_eq!(d.get("alpha"), Some(3));
+        assert_eq!(d.get("beta"), Some(1));
+        assert_eq!(d.get("gamma"), None);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn sorted_iteration_crosses_shards_in_order() {
+        let mut d = ShardedDict::new(DictKind::Hash, 8);
+        for w in ["pear", "apple", "zebra", "fig", "mango"] {
+            d.add(w, 1);
+        }
+        let mut seen = Vec::new();
+        d.for_each_sorted(&mut |w, _| seen.push(w.to_string()));
+        assert_eq!(seen, ["apple", "fig", "mango", "pear", "zebra"]);
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_partitioning() {
+        let d = ShardedDict::new(DictKind::BTree, 5);
+        for w in ["one", "two", "three", "four"] {
+            let s1 = shard_of(w, d.shard_count());
+            let s2 = shard_of(w, d.shard_count());
+            assert_eq!(s1, s2);
+            assert!(s1 < 5);
+        }
+    }
+
+    #[test]
+    fn merge_equals_unsharded_merge() {
+        let mut a = ShardedDict::new(DictKind::Hash, 4);
+        let mut b = ShardedDict::new(DictKind::Hash, 4);
+        let mut flat = DictKind::Hash.new_dict();
+        for (i, w) in ["w", "x", "y", "z", "w", "x"].iter().enumerate() {
+            if i % 2 == 0 {
+                a.add(w, i as u64 + 1);
+            } else {
+                b.add(w, i as u64 + 1);
+            }
+            flat.add(w, i as u64 + 1);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.len(), flat.len());
+        flat.for_each_sorted(&mut |w, v| {
+            assert_eq!(a.get(w), Some(v), "word {w}");
+        });
+    }
+
+    #[test]
+    fn per_shard_merge_is_equivalent_to_whole_merge() {
+        let mut whole = ShardedDict::new(DictKind::BTree, 3);
+        let mut piecewise = ShardedDict::new(DictKind::BTree, 3);
+        let mut other = ShardedDict::new(DictKind::BTree, 3);
+        for w in ["a", "bb", "ccc", "dddd", "eeeee"] {
+            whole.add(w, 1);
+            piecewise.add(w, 1);
+            other.add(w, 7);
+        }
+        whole.merge_from(&other);
+        for s in 0..3 {
+            piecewise.merge_shard_from(s, &other);
+        }
+        for w in ["a", "bb", "ccc", "dddd", "eeeee"] {
+            assert_eq!(whole.get(w), piecewise.get(w));
+            assert_eq!(whole.get(w), Some(8));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard counts must match")]
+    fn mismatched_shard_counts_rejected() {
+        let mut a = ShardedDict::new(DictKind::BTree, 2);
+        let b = ShardedDict::new(DictKind::BTree, 3);
+        a.merge_from(&b);
+    }
+
+    #[test]
+    fn single_shard_degenerates_cleanly() {
+        let mut d = ShardedDict::new(DictKind::BTree, 1);
+        d.add("only", 1);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.shard_count(), 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property test: both dictionary implementations behave exactly like a
+//! reference `BTreeMap<String, u64>` under an arbitrary operation
+//! sequence, and sorted iteration visits words in ascending order.
+
+use hpa_dict::{AnyDict, DictKind, Dictionary};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Add(String, u64),
+    Insert(String, u64),
+    Get(String),
+}
+
+fn arb_word() -> impl Strategy<Value = String> {
+    // Small alphabet to force collisions/duplicates.
+    "[a-e]{1,3}".prop_map(|s| s)
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (arb_word(), 1u64..5).prop_map(|(w, d)| Op::Add(w, d)),
+            (arb_word(), 0u64..100).prop_map(|(w, v)| Op::Insert(w, v)),
+            arb_word().prop_map(Op::Get),
+        ],
+        0..60,
+    )
+}
+
+fn check_kind(kind: DictKind, ops: &[Op]) {
+    let mut dict: AnyDict = kind.new_dict();
+    let mut model: BTreeMap<String, u64> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Add(w, d) => {
+                let got = dict.add(w, *d);
+                let e = model.entry(w.clone()).or_insert(0);
+                *e += d;
+                assert_eq!(got, *e, "add({w},{d}) result");
+            }
+            Op::Insert(w, v) => {
+                dict.insert(w, *v);
+                model.insert(w.clone(), *v);
+            }
+            Op::Get(w) => {
+                assert_eq!(dict.get(w), model.get(w).copied(), "get({w})");
+            }
+        }
+    }
+    assert_eq!(dict.len(), model.len());
+    let mut visited: Vec<(String, u64)> = Vec::new();
+    dict.for_each_sorted(&mut |w, v| visited.push((w.to_string(), v)));
+    let expected: Vec<(String, u64)> = model.into_iter().collect();
+    assert_eq!(visited, expected, "sorted iteration matches model");
+}
+
+proptest! {
+    #[test]
+    fn btree_matches_model(ops in arb_ops()) {
+        check_kind(DictKind::BTree, &ops);
+    }
+
+    #[test]
+    fn hash_matches_model(ops in arb_ops()) {
+        check_kind(DictKind::Hash, &ops);
+    }
+
+    #[test]
+    fn presized_hash_matches_model(ops in arb_ops()) {
+        check_kind(DictKind::HashPresized(64), &ops);
+    }
+
+    #[test]
+    fn merge_equals_model_union(a in arb_ops(), b in arb_ops()) {
+        for kind in [DictKind::BTree, DictKind::Hash] {
+            let mut da = kind.new_dict();
+            let mut db = kind.new_dict();
+            let mut model: BTreeMap<String, u64> = BTreeMap::new();
+            for (dict, ops) in [(&mut da, &a), (&mut db, &b)] {
+                for op in ops.iter() {
+                    if let Op::Add(w, d) = op {
+                        dict.add(w, *d);
+                        *model.entry(w.clone()).or_insert(0) += d;
+                    }
+                }
+            }
+            da.merge_from(&db);
+            prop_assert_eq!(da.len(), model.len());
+            for (w, v) in &model {
+                prop_assert_eq!(da.get(w), Some(*v));
+            }
+        }
+    }
+}

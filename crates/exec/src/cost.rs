@@ -1,0 +1,143 @@
+//! Task cost descriptions for the execution simulator.
+//!
+//! Operators written against [`crate::Exec`] can annotate parallel chunks
+//! and serial sections with a [`TaskCost`]: how much CPU time the work
+//! takes (used only by the *analytic* cost mode — the *measured* mode times
+//! the real execution instead), how many bytes of memory it touches (feeds
+//! the shared-bandwidth roofline), and how much storage I/O it performs
+//! (feeds the device model). Costs are plain data so they can be computed
+//! from operation counts, making simulated experiments machine-independent
+//! and deterministic.
+
+use std::ops::AddAssign;
+
+/// Resource demand of one task (a loop chunk or a serial section).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaskCost {
+    /// CPU time in nanoseconds (analytic mode only; ignored when measuring).
+    pub cpu_ns: u64,
+    /// Bytes of memory traffic the task generates (reads + writes that miss
+    /// cache). Drives the aggregate memory-bandwidth roofline.
+    pub mem_bytes: u64,
+    /// Bytes read from the storage device.
+    pub io_read_bytes: u64,
+    /// Bytes written to the storage device.
+    pub io_write_bytes: u64,
+    /// Number of distinct storage operations (each pays the device latency).
+    pub io_ops: u64,
+}
+
+impl TaskCost {
+    /// A pure-CPU cost.
+    pub fn cpu(cpu_ns: u64) -> Self {
+        TaskCost {
+            cpu_ns,
+            ..Default::default()
+        }
+    }
+
+    /// CPU plus memory traffic.
+    pub fn cpu_mem(cpu_ns: u64, mem_bytes: u64) -> Self {
+        TaskCost {
+            cpu_ns,
+            mem_bytes,
+            ..Default::default()
+        }
+    }
+
+    /// A storage read of `bytes` in `ops` operations, costing `cpu_ns` to
+    /// process (parse/copy).
+    pub fn read(cpu_ns: u64, bytes: u64, ops: u64) -> Self {
+        TaskCost {
+            cpu_ns,
+            io_read_bytes: bytes,
+            io_ops: ops,
+            ..Default::default()
+        }
+    }
+
+    /// A storage write of `bytes` in `ops` operations, costing `cpu_ns` to
+    /// format.
+    pub fn write(cpu_ns: u64, bytes: u64, ops: u64) -> Self {
+        TaskCost {
+            cpu_ns,
+            io_write_bytes: bytes,
+            io_ops: ops,
+            ..Default::default()
+        }
+    }
+
+    /// True when every component is zero (no information supplied).
+    pub fn is_zero(&self) -> bool {
+        *self == TaskCost::default()
+    }
+}
+
+impl AddAssign for TaskCost {
+    fn add_assign(&mut self, rhs: Self) {
+        self.cpu_ns += rhs.cpu_ns;
+        self.mem_bytes += rhs.mem_bytes;
+        self.io_read_bytes += rhs.io_read_bytes;
+        self.io_write_bytes += rhs.io_write_bytes;
+        self.io_ops += rhs.io_ops;
+    }
+}
+
+impl std::ops::Add for TaskCost {
+    type Output = TaskCost;
+    fn add(mut self, rhs: Self) -> Self {
+        self += rhs;
+        self
+    }
+}
+
+/// How the simulator obtains per-task CPU times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostMode {
+    /// Time the real execution of each task on the host and use that as its
+    /// single-core cost. Realistic; host-dependent.
+    #[default]
+    Measured,
+    /// Use the `cpu_ns` declared in each task's [`TaskCost`]. Deterministic
+    /// and machine-independent; tasks that declare no cost fall back to
+    /// measurement.
+    Analytic,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_expected_fields() {
+        let c = TaskCost::cpu(10);
+        assert_eq!(c.cpu_ns, 10);
+        assert_eq!(c.mem_bytes, 0);
+
+        let m = TaskCost::cpu_mem(5, 64);
+        assert_eq!((m.cpu_ns, m.mem_bytes), (5, 64));
+
+        let r = TaskCost::read(1, 4096, 2);
+        assert_eq!((r.io_read_bytes, r.io_ops), (4096, 2));
+        assert_eq!(r.io_write_bytes, 0);
+
+        let w = TaskCost::write(1, 512, 1);
+        assert_eq!((w.io_write_bytes, w.io_ops), (512, 1));
+    }
+
+    #[test]
+    fn add_sums_componentwise() {
+        let a = TaskCost::read(1, 100, 1) + TaskCost::write(2, 200, 3);
+        assert_eq!(a.cpu_ns, 3);
+        assert_eq!(a.io_read_bytes, 100);
+        assert_eq!(a.io_write_bytes, 200);
+        assert_eq!(a.io_ops, 4);
+    }
+
+    #[test]
+    fn is_zero_detects_default_only() {
+        assert!(TaskCost::default().is_zero());
+        assert!(!TaskCost::cpu(1).is_zero());
+        assert!(!TaskCost::cpu_mem(0, 1).is_zero());
+    }
+}

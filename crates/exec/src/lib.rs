@@ -1,0 +1,575 @@
+#![warn(missing_docs)]
+//! Execution substrate: intra-node parallelism for analytics operators.
+//!
+//! The paper implements its operators in Cilkplus, whose runtime provides
+//! fork/join task parallelism over a fixed set of cores. This crate is the
+//! reproduction's equivalent, with one addition the paper did not need: a
+//! **deterministic multicore simulator**, because the paper's scalability
+//! experiments require many cores while this reproduction must run
+//! anywhere (including single-core CI containers).
+//!
+//! Everything is accessed through [`Exec`], which has three modes:
+//!
+//! * [`Exec::sequential`] — run loops inline; the self-relative baseline.
+//! * [`Exec::pool`] — run loops on a [`pool::WorkStealingPool`] of real
+//!   threads. On a physical multicore machine this reproduces the paper's
+//!   setup directly.
+//! * [`Exec::simulated`] — run loops sequentially on the host while a
+//!   [`sim::MachineModel`] computes *virtual* elapsed time on `P` modelled
+//!   cores (work/span + greedy scheduling + memory-bandwidth and storage
+//!   rooflines). [`Exec::now`] then reports virtual time, so operators and
+//!   phase timers are agnostic to the mode.
+//!
+//! Operators annotate loops and serial sections with [`TaskCost`]s; in
+//! [`CostMode::Analytic`] the simulation is fully machine-independent.
+
+pub mod cost;
+pub mod pool;
+pub mod sim;
+
+pub use cost::{CostMode, TaskCost};
+pub use pool::WorkStealingPool;
+pub use sim::{schedule_region_bounds_hold, MachineModel, RegionSchedule, SimState};
+
+use parking_lot::Mutex;
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The execution context every operator runs against.
+#[derive(Clone)]
+pub struct Exec {
+    mode: Mode,
+    /// Real-time epoch, used by `now()` outside simulation.
+    epoch: Instant,
+}
+
+#[derive(Clone)]
+enum Mode {
+    Sequential,
+    Pool(Arc<WorkStealingPool>),
+    Sim(Arc<SimCtx>),
+}
+
+struct SimCtx {
+    cores: usize,
+    machine: MachineModel,
+    cost_mode: CostMode,
+    state: Mutex<SimState>,
+}
+
+/// Default chunk grain when the caller passes `grain = 0`.
+const DEFAULT_GRAIN: usize = 64;
+
+impl Exec {
+    /// Inline sequential execution (the 1-thread baseline).
+    pub fn sequential() -> Self {
+        Exec {
+            mode: Mode::Sequential,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Real threads on a work-stealing pool.
+    pub fn pool(threads: usize) -> Self {
+        if threads <= 1 {
+            return Exec::sequential();
+        }
+        Exec {
+            mode: Mode::Pool(Arc::new(WorkStealingPool::new(threads))),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Simulated execution on `cores` virtual cores of `machine`, with
+    /// measured per-task CPU costs (host-dependent but realistic).
+    pub fn simulated(cores: usize, machine: MachineModel) -> Self {
+        Exec::simulated_with(cores, machine, CostMode::Measured)
+    }
+
+    /// Simulated execution with an explicit [`CostMode`].
+    /// [`CostMode::Analytic`] makes runs reproducible across hosts,
+    /// provided the workload annotates its costs.
+    pub fn simulated_with(cores: usize, machine: MachineModel, cost_mode: CostMode) -> Self {
+        assert!(cores >= 1, "simulated machine needs at least one core");
+        Exec {
+            mode: Mode::Sim(Arc::new(SimCtx {
+                cores,
+                machine,
+                cost_mode,
+                state: Mutex::new(SimState::default()),
+            })),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The degree of parallelism this executor provides (virtual cores in
+    /// simulation).
+    pub fn threads(&self) -> usize {
+        match &self.mode {
+            Mode::Sequential => 1,
+            Mode::Pool(p) => p.threads(),
+            Mode::Sim(s) => s.cores,
+        }
+    }
+
+    /// True when running under the simulator.
+    pub fn is_simulated(&self) -> bool {
+        matches!(self.mode, Mode::Sim(_))
+    }
+
+    /// Elapsed time since this executor was created: *virtual* under the
+    /// simulator, wall-clock otherwise. Phase timers diff this.
+    pub fn now(&self) -> Duration {
+        match &self.mode {
+            Mode::Sim(s) => sim::ns_to_duration(s.state.lock().clock_ns),
+            _ => self.epoch.elapsed(),
+        }
+    }
+
+    /// Simulator work/span/clock state, if simulating.
+    pub fn sim_state(&self) -> Option<SimState> {
+        match &self.mode {
+            Mode::Sim(s) => Some(*s.state.lock()),
+            _ => None,
+        }
+    }
+
+    /// Run `body` as a serial section with declared `cost`. Under the
+    /// simulator the virtual clock advances by the machine-model cost of a
+    /// single core executing it; otherwise this is a plain call.
+    pub fn serial<R>(&self, cost: TaskCost, body: impl FnOnce() -> R) -> R {
+        match &self.mode {
+            Mode::Sim(s) => {
+                let t0 = Instant::now();
+                let r = body();
+                let measured = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                let ns = s.machine.serial_ns(&cost, measured, s.cost_mode);
+                s.state.lock().advance_serial(ns);
+                r
+            }
+            _ => body(),
+        }
+    }
+
+    /// Like [`Exec::serial`], but the cost is produced *by* the body —
+    /// for sections whose resource demand is only known afterwards, e.g.
+    /// "how many bytes did the ARFF writer emit".
+    pub fn serial_costed<R>(&self, body: impl FnOnce() -> (R, TaskCost)) -> R {
+        match &self.mode {
+            Mode::Sim(s) => {
+                let t0 = Instant::now();
+                let (r, cost) = body();
+                let measured = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                let ns = s.machine.serial_ns(&cost, measured, s.cost_mode);
+                s.state.lock().advance_serial(ns);
+                r
+            }
+            _ => body().0,
+        }
+    }
+
+    /// Parallel loop over `0..n` with chunk size `grain` (0 = automatic).
+    /// `body` receives each index. No cost annotation: the simulator will
+    /// time the chunks (no bandwidth/I/O modelling for this loop).
+    pub fn par_for<B>(&self, n: usize, grain: usize, body: B)
+    where
+        B: Fn(usize) + Sync,
+    {
+        self.par_for_costed(n, grain, body, |_| TaskCost::default());
+    }
+
+    /// Parallel loop over `0..n` where `cost(range)` declares each chunk's
+    /// resource demand (used by the simulator; ignored on real threads).
+    pub fn par_for_costed<B, C>(&self, n: usize, grain: usize, body: B, cost: C)
+    where
+        B: Fn(usize) + Sync,
+        C: Fn(Range<usize>) -> TaskCost + Sync,
+    {
+        self.par_chunks(n, grain, |range| range.for_each(&body), cost);
+    }
+
+    /// Parallel loop over chunk ranges of `0..n`: `body(range)` is invoked
+    /// once per chunk. The workhorse primitive the other loops reduce to.
+    pub fn par_chunks<B, C>(&self, n: usize, grain: usize, body: B, cost: C)
+    where
+        B: Fn(Range<usize>) + Sync,
+        C: Fn(Range<usize>) -> TaskCost + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        let ranges = chunk_ranges(n, self.effective_grain(n, grain));
+        match &self.mode {
+            Mode::Sequential => {
+                for r in ranges {
+                    body(r);
+                }
+            }
+            Mode::Pool(pool) => {
+                let body = &body;
+                let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+                    .into_iter()
+                    .map(|r| Box::new(move || body(r)) as Box<dyn FnOnce() + Send + '_>)
+                    .collect();
+                pool.run_batch(tasks);
+            }
+            Mode::Sim(s) => {
+                let mut times = Vec::with_capacity(ranges.len());
+                let mut totals = TaskCost::default();
+                for r in ranges {
+                    let declared = cost(r.clone());
+                    totals += declared;
+                    let t0 = Instant::now();
+                    body(r);
+                    let measured = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                    let cpu = s.machine.effective_cpu_ns(&declared, measured, s.cost_mode);
+                    times.push((cpu, declared));
+                }
+                let tasks = times.len() as u64;
+                let sched = sim::schedule_region(&s.machine, s.cores, &times, &totals);
+                s.state.lock().advance_region(sched, tasks);
+            }
+        }
+    }
+
+    /// Parallel fold/reduce over `0..n`: each chunk folds into a local
+    /// accumulator created by `identity`; partial accumulators are then
+    /// combined by a pairwise **tree reduction** (parallel rounds, like
+    /// Cilk reducer merges). The tree's critical path — `log2(partials)`
+    /// rounds of `reduce_cost` — is the per-iteration serial fraction
+    /// that limits K-means scalability on the smaller *Mix* data set in
+    /// the paper's Figure 1, so the simulator charges it faithfully.
+    #[allow(clippy::too_many_arguments)]
+    pub fn par_fold_reduce<T, ID, F, R2, C>(
+        &self,
+        n: usize,
+        grain: usize,
+        identity: ID,
+        fold: F,
+        reduce: R2,
+        cost: C,
+        reduce_cost: TaskCost,
+    ) -> Option<T>
+    where
+        T: Send,
+        ID: Fn() -> T + Sync,
+        F: Fn(T, usize) -> T + Sync,
+        R2: Fn(T, T) -> T + Sync,
+        C: Fn(Range<usize>) -> TaskCost + Sync,
+    {
+        if n == 0 {
+            return None;
+        }
+        let ranges = chunk_ranges(n, self.effective_grain(n, grain));
+        let slots: Vec<Mutex<Option<T>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
+        {
+            let slots = &slots;
+            let ranges = &ranges;
+            let identity = &identity;
+            let fold = &fold;
+            self.par_chunks(
+                ranges.len(),
+                1,
+                move |chunk_idx_range| {
+                    for ci in chunk_idx_range {
+                        let mut acc = identity();
+                        for i in ranges[ci].clone() {
+                            acc = fold(acc, i);
+                        }
+                        *slots[ci].lock() = Some(acc);
+                    }
+                },
+                |chunk_idx_range| {
+                    let mut total = TaskCost::default();
+                    for ci in chunk_idx_range {
+                        total += cost(ranges[ci].clone());
+                    }
+                    total
+                },
+            );
+        }
+        let partials: Vec<T> = slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("chunk produced a partial"))
+            .collect();
+        self.par_tree_reduce(partials, reduce, reduce_cost)
+    }
+
+    /// Pairwise tree reduction of `items`: each round merges disjoint
+    /// pairs in parallel (an odd item passes through). Merge order is
+    /// deterministic (left-to-right pairing), so floating-point results
+    /// are reproducible across executors for a fixed number of partials.
+    pub fn par_tree_reduce<T, M>(&self, mut items: Vec<T>, merge: M, merge_cost: TaskCost) -> Option<T>
+    where
+        T: Send,
+        M: Fn(T, T) -> T + Sync,
+    {
+        while items.len() > 1 {
+            let mut iter = items.into_iter();
+            let mut pairs: Vec<Mutex<Option<(T, T)>>> = Vec::new();
+            let mut leftover: Option<T> = None;
+            loop {
+                match (iter.next(), iter.next()) {
+                    (Some(a), Some(b)) => pairs.push(Mutex::new(Some((a, b)))),
+                    (Some(a), None) => {
+                        leftover = Some(a);
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+            let out: Vec<Mutex<Option<T>>> = pairs.iter().map(|_| Mutex::new(None)).collect();
+            {
+                let pairs = &pairs;
+                let out = &out;
+                let merge = &merge;
+                self.par_chunks(
+                    pairs.len(),
+                    1,
+                    move |range| {
+                        for i in range {
+                            let (a, b) = pairs[i].lock().take().expect("pair taken once");
+                            *out[i].lock() = Some(merge(a, b));
+                        }
+                    },
+                    |range| {
+                        let mut total = TaskCost::default();
+                        for _ in range {
+                            total += merge_cost;
+                        }
+                        total
+                    },
+                );
+            }
+            items = out
+                .into_iter()
+                .map(|s| s.into_inner().expect("pair merged"))
+                .collect();
+            items.extend(leftover);
+        }
+        items.into_iter().next()
+    }
+
+    fn effective_grain(&self, n: usize, grain: usize) -> usize {
+        if grain > 0 {
+            return grain;
+        }
+        // Aim for ~8 chunks per thread so stealing can balance load, with a
+        // floor so tiny loops don't drown in spawn overhead.
+        let by_threads = n.div_ceil(self.threads() * 8);
+        by_threads.clamp(1, DEFAULT_GRAIN)
+    }
+}
+
+impl std::fmt::Debug for Exec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.mode {
+            Mode::Sequential => write!(f, "Exec::Sequential"),
+            Mode::Pool(p) => write!(f, "Exec::Pool({} threads)", p.threads()),
+            Mode::Sim(s) => write!(f, "Exec::Sim({} cores, {:?})", s.cores, s.cost_mode),
+        }
+    }
+}
+
+/// Split `0..n` into consecutive ranges of length `grain` (last may be
+/// shorter).
+pub fn chunk_ranges(n: usize, grain: usize) -> Vec<Range<usize>> {
+    assert!(grain > 0);
+    let mut out = Vec::with_capacity(n.div_ceil(grain));
+    let mut start = 0;
+    while start < n {
+        let end = (start + grain).min(n);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        let rs = chunk_ranges(10, 3);
+        assert_eq!(rs, vec![0..3, 3..6, 6..9, 9..10]);
+        assert_eq!(chunk_ranges(0, 5), Vec::<Range<usize>>::new());
+        assert_eq!(chunk_ranges(5, 100), vec![0..5]);
+    }
+
+    fn all_execs() -> Vec<Exec> {
+        vec![
+            Exec::sequential(),
+            Exec::pool(3),
+            Exec::simulated(4, MachineModel::frictionless()),
+            Exec::simulated_with(4, MachineModel::frictionless(), CostMode::Analytic),
+        ]
+    }
+
+    #[test]
+    fn par_for_visits_each_index_once_in_all_modes() {
+        for exec in all_execs() {
+            let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+            exec.par_for(hits.len(), 16, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} in {exec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_for_zero_length_is_noop() {
+        for exec in all_execs() {
+            exec.par_for(0, 8, |_| panic!("must not run"));
+        }
+    }
+
+    #[test]
+    fn par_fold_reduce_sums_correctly_in_all_modes() {
+        for exec in all_execs() {
+            let total = exec.par_fold_reduce(
+                1000,
+                37,
+                || 0u64,
+                |acc, i| acc + i as u64,
+                |a, b| a + b,
+                |_| TaskCost::default(),
+                TaskCost::default(),
+            );
+            assert_eq!(total, Some((0..1000u64).sum()), "{exec:?}");
+        }
+    }
+
+    #[test]
+    fn par_fold_reduce_empty_returns_none() {
+        let exec = Exec::sequential();
+        let r = exec.par_fold_reduce(
+            0,
+            1,
+            || 0u64,
+            |a, _| a,
+            |a, b| a + b,
+            |_| TaskCost::default(),
+            TaskCost::default(),
+        );
+        assert_eq!(r, None);
+    }
+
+    #[test]
+    fn pool_of_one_degrades_to_sequential() {
+        let exec = Exec::pool(1);
+        assert_eq!(exec.threads(), 1);
+        assert!(!exec.is_simulated());
+    }
+
+    #[test]
+    fn simulated_clock_advances_with_analytic_costs() {
+        let exec = Exec::simulated_with(4, MachineModel::frictionless(), CostMode::Analytic);
+        // 8 chunks x 1ms on 4 cores => 2ms.
+        exec.par_for_costed(8, 1, |_| {}, |_| TaskCost::cpu(1_000_000));
+        let clock = exec.now();
+        assert_eq!(clock, Duration::from_millis(2));
+        let st = exec.sim_state().unwrap();
+        assert_eq!(st.work_ns, 8_000_000);
+        assert_eq!(st.span_ns, 1_000_000);
+        assert!((st.parallelism() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulated_serial_section_advances_clock() {
+        let exec = Exec::simulated_with(8, MachineModel::frictionless(), CostMode::Analytic);
+        let out = exec.serial(TaskCost::cpu(5_000_000), || 42);
+        assert_eq!(out, 42);
+        assert_eq!(exec.now(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn simulated_speedup_scales_with_cores() {
+        // Same analytic workload on 1 vs 8 cores: 8x faster.
+        let run = |cores| {
+            let exec =
+                Exec::simulated_with(cores, MachineModel::frictionless(), CostMode::Analytic);
+            exec.par_for_costed(64, 1, |_| {}, |_| TaskCost::cpu(1_000_000));
+            exec.now()
+        };
+        let t1 = run(1);
+        let t8 = run(8);
+        assert_eq!(t1.as_nanos() / t8.as_nanos(), 8);
+    }
+
+    #[test]
+    fn measured_mode_clock_is_nonzero_for_real_work() {
+        let exec = Exec::simulated(2, MachineModel::frictionless());
+        let sink = AtomicU64::new(0);
+        exec.par_for(100, 10, |i| {
+            // A little real work so measurement sees nonzero durations.
+            let mut x = i as u64;
+            for _ in 0..1000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            sink.fetch_xor(x, Ordering::Relaxed);
+        });
+        assert!(exec.now() > Duration::ZERO);
+    }
+
+    #[test]
+    fn reduction_charges_tree_critical_path_in_sim() {
+        let exec = Exec::simulated_with(16, MachineModel::frictionless(), CostMode::Analytic);
+        // 16 partials, negligible parallel fold cost, 1 ms per merge:
+        // the pairwise tree has log2(16) = 4 rounds on 16 cores.
+        let r = exec.par_fold_reduce(
+            16,
+            1,
+            || 0u64,
+            |a, i| a + i as u64,
+            |a, b| a + b,
+            |_| TaskCost::cpu(1),
+            TaskCost::cpu(1_000_000),
+        );
+        assert_eq!(r, Some((0..16u64).sum()));
+        let clock = exec.now();
+        assert!(
+            clock >= Duration::from_millis(4) && clock < Duration::from_millis(6),
+            "tree reduction should cost ~4 rounds, got {clock:?}"
+        );
+    }
+
+    #[test]
+    fn tree_reduce_merges_everything_in_all_modes() {
+        for exec in all_execs() {
+            let items: Vec<u64> = (1..=37).collect();
+            let total = exec.par_tree_reduce(items, |a, b| a + b, TaskCost::cpu(10));
+            assert_eq!(total, Some((1..=37u64).sum()), "{exec:?}");
+        }
+        assert_eq!(
+            Exec::sequential().par_tree_reduce(Vec::<u64>::new(), |a, b| a + b, TaskCost::default()),
+            None
+        );
+        assert_eq!(
+            Exec::sequential().par_tree_reduce(vec![9u64], |a, b| a + b, TaskCost::default()),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn now_is_monotone_in_real_modes() {
+        let exec = Exec::pool(2);
+        let a = exec.now();
+        exec.par_for(10, 1, |_| {});
+        let b = exec.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn effective_grain_respects_explicit_value() {
+        let exec = Exec::sequential();
+        assert_eq!(exec.effective_grain(1000, 7), 7);
+        // Automatic grain: bounded and positive.
+        let g = exec.effective_grain(1000, 0);
+        assert!(g >= 1 && g <= DEFAULT_GRAIN.max(1000));
+    }
+}

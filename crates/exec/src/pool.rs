@@ -1,0 +1,370 @@
+//! Work-stealing thread pool.
+//!
+//! This is the reproduction's stand-in for the Cilkplus runtime the paper
+//! uses: a fixed set of workers, each with a work-stealing deque
+//! (`crossbeam_deque`), fed through a global injector. The pool executes
+//! *batches* of scope-bound tasks: the submitting thread erases the tasks'
+//! lifetimes, injects them, then **helps execute** pending tasks while it
+//! waits on a completion latch, so a batch can never deadlock and borrowed
+//! data provably outlives every task (the batch call does not return until
+//! the last task finished).
+//!
+//! Nesting policy: operators in this workspace parallelize one loop level
+//! (over documents / files / clusters), matching the paper's code. If a
+//! task running *on a worker* submits a nested batch, the batch runs inline
+//! sequentially on that worker. This keeps the pool deadlock-free without
+//! the full generality (and unsafety budget) of continuation stealing.
+
+use crossbeam::deque::{Injector, Stealer, Worker as Deque};
+use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Task = Box<dyn FnOnce() + Send>;
+
+thread_local! {
+    /// Set while the current thread is a pool worker executing a task.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+struct Latch {
+    remaining: AtomicUsize,
+    panicked: AtomicBool,
+    mutex: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: AtomicUsize::new(count),
+            panicked: AtomicBool::new(false),
+            mutex: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.mutex.lock();
+            self.cv.notify_all();
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+}
+
+struct Shared {
+    injector: Injector<Task>,
+    stealers: Vec<Stealer<Task>>,
+    shutdown: AtomicBool,
+    /// Sleep/wake machinery for idle workers.
+    idle_mutex: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+impl Shared {
+    /// Find a task: local deque first (when on a worker), then the global
+    /// injector, then steal from siblings.
+    fn find_task(&self, local: Option<&Deque<Task>>) -> Option<Task> {
+        if let Some(local) = local {
+            if let Some(t) = local.pop() {
+                return Some(t);
+            }
+        }
+        loop {
+            let steal = match local {
+                Some(l) => self.injector.steal_batch_and_pop(l),
+                None => self.injector.steal(),
+            };
+            match steal {
+                crossbeam::deque::Steal::Success(t) => return Some(t),
+                crossbeam::deque::Steal::Empty => break,
+                crossbeam::deque::Steal::Retry => continue,
+            }
+        }
+        for s in &self.stealers {
+            loop {
+                match s.steal() {
+                    crossbeam::deque::Steal::Success(t) => return Some(t),
+                    crossbeam::deque::Steal::Empty => break,
+                    crossbeam::deque::Steal::Retry => continue,
+                }
+            }
+        }
+        None
+    }
+
+    fn wake_all(&self) {
+        let _guard = self.idle_mutex.lock();
+        self.idle_cv.notify_all();
+    }
+}
+
+/// A fixed-size work-stealing thread pool.
+pub struct WorkStealingPool {
+    shared: Arc<Shared>,
+    threads: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkStealingPool {
+    /// Spawn a pool with `threads` workers. `threads` must be at least 1.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "pool needs at least one worker");
+        let deques: Vec<Deque<Task>> = (0..threads).map(|_| Deque::new_lifo()).collect();
+        let stealers = deques.iter().map(|d| d.stealer()).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            shutdown: AtomicBool::new(false),
+            idle_mutex: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        });
+        let handles = deques
+            .into_iter()
+            .enumerate()
+            .map(|(i, deque)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hpa-worker-{i}"))
+                    .spawn(move || worker_loop(shared, deque))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkStealingPool {
+            shared,
+            threads,
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute a batch of tasks that may borrow from the caller's stack and
+    /// wait for all of them. Panics in tasks are propagated (as a generic
+    /// panic) after the whole batch has completed, so the latch always
+    /// drains.
+    ///
+    /// When called from inside a pool worker, the batch runs inline
+    /// sequentially (see module docs on the nesting policy).
+    pub fn run_batch<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        if IN_WORKER.with(|w| w.get()) {
+            for t in tasks {
+                t();
+            }
+            return;
+        }
+
+        let latch = Arc::new(Latch::new(tasks.len()));
+        for task in tasks {
+            // SAFETY: lifetime erasure. The closure (and everything it
+            // borrows) outlives its execution because this function does
+            // not return until the latch — decremented exactly once per
+            // task, even on panic — reaches zero.
+            let task: Box<dyn FnOnce() + Send + 'static> = unsafe { erase_lifetime(task) };
+            let latch = Arc::clone(&latch);
+            self.shared.injector.push(Box::new(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                if result.is_err() {
+                    latch.panicked.store(true, Ordering::Release);
+                }
+                latch.count_down();
+            }));
+        }
+        self.shared.wake_all();
+
+        // Help while waiting: drain pending tasks (this batch's or another
+        // concurrent submitter's — both are fine) instead of blocking.
+        while !latch.done() {
+            if let Some(task) = self.shared.find_task(None) {
+                task();
+            } else {
+                let mut guard = self.shared.idle_mutex.lock();
+                if !latch.done() {
+                    self.shared
+                        .idle_cv
+                        .wait_for(&mut guard, std::time::Duration::from_millis(1));
+                }
+            }
+        }
+
+        if latch.panicked.load(Ordering::Acquire) {
+            panic!("a task in the parallel batch panicked");
+        }
+    }
+}
+
+unsafe fn erase_lifetime<'scope>(
+    task: Box<dyn FnOnce() + Send + 'scope>,
+) -> Box<dyn FnOnce() + Send + 'static> {
+    std::mem::transmute(task)
+}
+
+fn worker_loop(shared: Arc<Shared>, local: Deque<Task>) {
+    IN_WORKER.with(|w| w.set(true));
+    loop {
+        if let Some(task) = shared.find_task(Some(&local)) {
+            task();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let mut guard = shared.idle_mutex.lock();
+        // Re-check under the lock so a wake between the failed find and
+        // this wait is not lost entirely (bounded by the timeout anyway).
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        shared
+            .idle_cv
+            .wait_for(&mut guard, std::time::Duration::from_millis(5));
+    }
+}
+
+impl Drop for WorkStealingPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.wake_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn batch_runs_every_task_exactly_once() {
+        let pool = WorkStealingPool::new(4);
+        let counter = AtomicU64::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..100)
+            .map(|i| {
+                let counter = &counter;
+                Box::new(move || {
+                    counter.fetch_add(i + 1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        pool.run_batch(tasks);
+        assert_eq!(counter.load(Ordering::Relaxed), (1..=100).sum::<u64>());
+    }
+
+    #[test]
+    fn batch_can_borrow_stack_data() {
+        let pool = WorkStealingPool::new(2);
+        let data: Vec<u64> = (0..64).collect();
+        let out: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..64)
+            .map(|i| {
+                let data = &data;
+                let out = &out;
+                Box::new(move || out[i].store(data[i] * 2, Ordering::Relaxed))
+                    as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        pool.run_batch(tasks);
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o.load(Ordering::Relaxed), (i as u64) * 2);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let pool = WorkStealingPool::new(1);
+        pool.run_batch(Vec::new());
+    }
+
+    #[test]
+    fn sequential_order_not_required_but_all_complete() {
+        let pool = WorkStealingPool::new(3);
+        for _round in 0..10 {
+            let counter = AtomicU64::new(0);
+            let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..31)
+                .map(|_| {
+                    let counter = &counter;
+                    Box::new(move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            pool.run_batch(tasks);
+            assert_eq!(counter.load(Ordering::Relaxed), 31);
+        }
+    }
+
+    #[test]
+    fn panicking_task_propagates_after_batch_completes() {
+        let pool = WorkStealingPool::new(2);
+        let completed = AtomicU64::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..8)
+                .map(|i| {
+                    let completed = &completed;
+                    Box::new(move || {
+                        if i == 3 {
+                            panic!("boom");
+                        }
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            pool.run_batch(tasks);
+        }));
+        assert!(result.is_err());
+        assert_eq!(completed.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn nested_batch_from_worker_runs_inline() {
+        let pool = Arc::new(WorkStealingPool::new(2));
+        let inner_ran = AtomicU64::new(0);
+        let p2 = Arc::clone(&pool);
+        let inner_ref = &inner_ran;
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![Box::new(move || {
+            let nested: Vec<Box<dyn FnOnce() + Send>> = (0..4)
+                .map(|_| {
+                    Box::new(move || {
+                        inner_ref.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            p2.run_batch(nested);
+        })];
+        pool.run_batch(tasks);
+        assert_eq!(inner_ran.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn pool_shuts_down_cleanly_on_drop() {
+        for _ in 0..5 {
+            let pool = WorkStealingPool::new(4);
+            let c = AtomicU64::new(0);
+            let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..16)
+                .map(|_| {
+                    let c = &c;
+                    Box::new(move || {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            pool.run_batch(tasks);
+            drop(pool);
+            assert_eq!(c.load(Ordering::Relaxed), 16);
+        }
+    }
+}

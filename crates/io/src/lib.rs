@@ -1,0 +1,206 @@
+#![warn(missing_docs)]
+//! Parallel input substrate.
+//!
+//! §3.2 of the paper: a CPU-bound operator can also use intra-node
+//! parallelism to drive the storage system — reading independent files
+//! concurrently and overlapping processing with access latency. This
+//! crate provides those pieces:
+//!
+//! * [`load_corpus_parallel`] — read a document directory with a parallel
+//!   loop, each file annotated with its I/O cost so the execution
+//!   simulator can apply its storage-device model;
+//! * [`ReadAhead`] — a background prefetcher that overlaps file reads
+//!   with the consumer's compute (bounded channel, one producer thread);
+//! * [`ByteCounter`] — a `Write` adapter that accounts bytes and
+//!   operations, turning any serial output path (e.g. the ARFF writer)
+//!   into a [`TaskCost`] for the simulator.
+
+pub mod counter;
+pub mod readahead;
+
+pub use counter::ByteCounter;
+pub use readahead::ReadAhead;
+
+use hpa_exec::{Exec, TaskCost};
+use parking_lot::Mutex;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Per-byte CPU cost of moving file bytes into memory (copy + UTF-8
+/// validation), used for analytic-mode annotations. Calibrated to
+/// DRAM-speed copies: ~0.3 ns/byte.
+pub const READ_CPU_NS_PER_BYTE: f64 = 0.3;
+
+/// Read one file to a string, returning its [`TaskCost`].
+pub fn read_file_costed(path: &Path) -> io::Result<(String, TaskCost)> {
+    let text = std::fs::read_to_string(path)?;
+    let bytes = text.len() as u64;
+    let cost = TaskCost {
+        cpu_ns: (bytes as f64 * READ_CPU_NS_PER_BYTE) as u64,
+        mem_bytes: bytes,
+        io_read_bytes: bytes,
+        io_ops: 1,
+        ..Default::default()
+    };
+    Ok((text, cost))
+}
+
+/// Read every file of `paths` in parallel under `exec`, invoking
+/// `consume(index, text)` for each. File sizes are collected up front so
+/// chunk costs are declared before the loop runs.
+///
+/// Returns the first I/O error encountered, if any (all files are still
+/// attempted).
+pub fn for_each_file_parallel<F>(exec: &Exec, paths: &[PathBuf], consume: F) -> io::Result<()>
+where
+    F: Fn(usize, &str) + Sync,
+{
+    // Sizes for cost annotation; unreadable files get size 0 and surface
+    // their error from the read below.
+    let sizes: Vec<u64> = paths
+        .iter()
+        .map(|p| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0))
+        .collect();
+    let first_error: Mutex<Option<io::Error>> = Mutex::new(None);
+    exec.par_for_costed(
+        paths.len(),
+        0,
+        |i| match std::fs::read_to_string(&paths[i]) {
+            Ok(text) => consume(i, &text),
+            Err(e) => {
+                let mut slot = first_error.lock();
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+            }
+        },
+        |range| {
+            let bytes: u64 = range.clone().map(|i| sizes[i]).sum();
+            TaskCost {
+                cpu_ns: (bytes as f64 * READ_CPU_NS_PER_BYTE) as u64,
+                mem_bytes: bytes,
+                io_read_bytes: bytes,
+                io_ops: range.len() as u64,
+                ..Default::default()
+            }
+        },
+    );
+    match first_error.into_inner() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Load a corpus directory (written by `hpa_corpus::disk::write_corpus`)
+/// using a parallel read loop.
+pub fn load_corpus_parallel(
+    exec: &Exec,
+    name: &str,
+    dir: &Path,
+) -> io::Result<hpa_corpus::Corpus> {
+    let paths = hpa_corpus::disk::list_documents(dir)?;
+    let slots: Vec<Mutex<Option<hpa_corpus::Document>>> =
+        paths.iter().map(|_| Mutex::new(None)).collect();
+    for_each_file_parallel(exec, &paths, |i, text| {
+        let file_name = paths[i]
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("unnamed.txt")
+            .to_string();
+        *slots[i].lock() = Some(hpa_corpus::Document {
+            id: i as u32,
+            name: file_name,
+            text: text.to_string(),
+        });
+    })?;
+    let docs = slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("document read"))
+        .collect();
+    Ok(hpa_corpus::Corpus::from_documents(name, docs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpa_corpus::CorpusSpec;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("hpa_io_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn read_file_costed_reports_bytes_and_ops() {
+        let dir = tmpdir("cost");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("x.txt");
+        std::fs::write(&p, "hello world").unwrap();
+        let (text, cost) = read_file_costed(&p).unwrap();
+        assert_eq!(text, "hello world");
+        assert_eq!(cost.io_read_bytes, 11);
+        assert_eq!(cost.io_ops, 1);
+        assert_eq!(cost.mem_bytes, 11);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parallel_load_matches_sequential_read() {
+        let dir = tmpdir("par");
+        let corpus = CorpusSpec::mix().scaled(0.001).generate(21);
+        hpa_corpus::disk::write_corpus(&corpus, &dir).unwrap();
+
+        for exec in [
+            Exec::sequential(),
+            Exec::pool(3),
+            Exec::simulated(4, hpa_exec::MachineModel::default()),
+        ] {
+            let loaded = load_corpus_parallel(&exec, "Mix", &dir).unwrap();
+            assert_eq!(loaded.len(), corpus.len());
+            for (a, b) in corpus.documents().iter().zip(loaded.documents()) {
+                assert_eq!(a.text, b.text, "doc {} under {exec:?}", a.id);
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn simulated_load_charges_io_time() {
+        let dir = tmpdir("sim");
+        let corpus = CorpusSpec::mix().scaled(0.001).generate(3);
+        hpa_corpus::disk::write_corpus(&corpus, &dir).unwrap();
+        // A very slow simulated disk: the virtual clock must reflect it.
+        let model = hpa_exec::MachineModel {
+            io_read_bandwidth: 1.0e6, // 1 MB/s
+            ..hpa_exec::MachineModel::frictionless()
+        };
+        let exec = Exec::simulated(8, model);
+        let loaded = load_corpus_parallel(&exec, "Mix", &dir).unwrap();
+        let expected_ns = loaded.total_bytes() as f64 / 1.0e6 * 1e9;
+        let clock = exec.now().as_nanos() as f64;
+        assert!(
+            clock >= expected_ns * 0.99,
+            "clock {clock} vs expected {expected_ns}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_surfaces_error() {
+        let exec = Exec::sequential();
+        let err = for_each_file_parallel(
+            &exec,
+            &[PathBuf::from("/nonexistent/file.txt")],
+            |_, _| {},
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn empty_path_list_is_ok() {
+        let exec = Exec::sequential();
+        assert!(for_each_file_parallel(&exec, &[], |_, _| panic!()).is_ok());
+    }
+}

@@ -1,0 +1,151 @@
+//! Centroid seeding.
+
+use hpa_sparse::{squared_distance_to_centroid, DenseVec, SparseVec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Pick `k` distinct document indices uniformly at random (Floyd's
+/// algorithm for a distinct sample).
+pub fn random_points(vectors: &[SparseVec], k: usize, seed: u64) -> Vec<usize> {
+    let n = vectors.len();
+    assert!(k <= n, "cannot seed {k} clusters from {n} points");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        if chosen.contains(&t) {
+            chosen.push(j);
+        } else {
+            chosen.push(t);
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// k-means++ seeding: the first seed uniform, each further seed sampled
+/// with probability proportional to its squared distance from the nearest
+/// seed chosen so far.
+pub fn kmeans_plus_plus(vectors: &[SparseVec], k: usize, seed: u64) -> Vec<usize> {
+    let n = vectors.len();
+    assert!(k <= n, "cannot seed {k} clusters from {n} points");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut chosen = Vec::with_capacity(k);
+    let first = rng.gen_range(0..n);
+    chosen.push(first);
+
+    let dim = vectors
+        .iter()
+        .filter_map(|v| v.terms().last().copied())
+        .max()
+        .map(|t| t as usize + 1)
+        .unwrap_or(1);
+    let mut dist = vec![f64::INFINITY; n];
+    let update_from = |idx: usize, dist: &mut Vec<f64>| {
+        let mut c = DenseVec::zeros(dim);
+        c.add_sparse(&vectors[idx]);
+        let norm = c.norm_sq();
+        for (i, v) in vectors.iter().enumerate() {
+            let d = squared_distance_to_centroid(v, &c, norm);
+            if d < dist[i] {
+                dist[i] = d;
+            }
+        }
+    };
+    update_from(first, &mut dist);
+
+    while chosen.len() < k {
+        let total: f64 = dist.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with seeds: pick the first
+            // unchosen index deterministically.
+            (0..n).find(|i| !chosen.contains(i)).expect("k <= n")
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut pick = n - 1;
+            for (i, &d) in dist.iter().enumerate() {
+                if target < d {
+                    pick = i;
+                    break;
+                }
+                target -= d;
+            }
+            pick
+        };
+        chosen.push(next);
+        update_from(next, &mut dist);
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points(n: usize) -> Vec<SparseVec> {
+        (0..n)
+            .map(|i| SparseVec::from_pairs(vec![(i as u32 % 7, 1.0 + i as f64)]))
+            .collect()
+    }
+
+    #[test]
+    fn random_points_distinct_and_in_range() {
+        let v = points(50);
+        for seed in 0..20 {
+            let s = random_points(&v, 8, seed);
+            assert_eq!(s.len(), 8);
+            let mut d = s.clone();
+            d.dedup();
+            assert_eq!(d.len(), 8, "distinct seeds for seed {seed}");
+            assert!(s.iter().all(|&i| i < 50));
+        }
+    }
+
+    #[test]
+    fn random_points_deterministic_per_seed() {
+        let v = points(30);
+        assert_eq!(random_points(&v, 5, 9), random_points(&v, 5, 9));
+        assert_ne!(random_points(&v, 5, 9), random_points(&v, 5, 10));
+    }
+
+    #[test]
+    fn k_equals_n_takes_everything() {
+        let v = points(6);
+        let s = random_points(&v, 6, 3);
+        assert_eq!(s, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot seed")]
+    fn k_exceeding_n_panics() {
+        random_points(&points(3), 4, 0);
+    }
+
+    #[test]
+    fn plus_plus_spreads_across_separated_groups() {
+        // Two tight groups far apart: with k=2 the seeds must split.
+        let mut v = Vec::new();
+        for i in 0..10 {
+            v.push(SparseVec::from_pairs(vec![(0, 100.0 + i as f64 * 0.001)]));
+        }
+        for i in 0..10 {
+            v.push(SparseVec::from_pairs(vec![(1, 100.0 + i as f64 * 0.001)]));
+        }
+        for seed in 0..10 {
+            let s = kmeans_plus_plus(&v, 2, seed);
+            let groups: Vec<bool> = s.iter().map(|&i| i < 10).collect();
+            assert_ne!(groups[0], groups[1], "seed {seed} picked one group twice");
+        }
+    }
+
+    #[test]
+    fn plus_plus_handles_identical_points() {
+        let v = vec![SparseVec::from_pairs(vec![(0, 1.0)]); 5];
+        let s = kmeans_plus_plus(&v, 3, 1);
+        assert_eq!(s.len(), 3);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 3, "seeds distinct even when points coincide");
+    }
+}

@@ -1,0 +1,418 @@
+//! Figure rendering: minimal, dependency-free SVG charts.
+//!
+//! The paper's evaluation is four figures — two speedup line charts
+//! (Figures 1–2) and two stacked-bar phase breakdowns (Figures 3–4).
+//! [`LineChart`] and [`StackedBarChart`] render those styles to SVG so
+//! the benchmark harness can regenerate the figures themselves, not just
+//! their data tables. Pure `std`: the output is deterministic text,
+//! testable with string assertions.
+
+use crate::report::Series;
+use std::fmt::Write as _;
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 150.0;
+const MARGIN_T: f64 = 48.0;
+const MARGIN_B: f64 = 56.0;
+
+/// Line colors, cycled per series (color-blind-safe-ish defaults).
+const PALETTE: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf",
+];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn svg_open(title: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+    );
+    let _ = writeln!(
+        s,
+        r#"<text x="{}" y="24" font-size="16" text-anchor="middle">{}</text>"#,
+        (MARGIN_L + WIDTH - MARGIN_R) / 2.0,
+        esc(title)
+    );
+    s
+}
+
+/// Nice rounded tick step for a range.
+fn tick_step(max: f64) -> f64 {
+    if max <= 0.0 {
+        return 1.0;
+    }
+    let raw = max / 6.0;
+    let mag = 10f64.powf(raw.log10().floor());
+    let norm = raw / mag;
+    let step = if norm < 1.5 {
+        1.0
+    } else if norm < 2.5 {
+        2.0
+    } else if norm < 7.5 {
+        5.0
+    } else {
+        10.0
+    };
+    step * mag
+}
+
+/// A multi-series line chart (the paper's Figures 1 and 2 style).
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    /// Figure title.
+    pub title: String,
+    /// X-axis label (e.g. "Number of Threads").
+    pub x_label: String,
+    /// Y-axis label (e.g. "Self-Relative Speedup").
+    pub y_label: String,
+    /// The plotted series.
+    pub series: Vec<Series>,
+}
+
+impl LineChart {
+    /// Render to an SVG document string.
+    pub fn to_svg(&self) -> String {
+        let mut s = svg_open(&self.title);
+        let (x0, x1) = (MARGIN_L, WIDTH - MARGIN_R);
+        let (y0, y1) = (HEIGHT - MARGIN_B, MARGIN_T);
+
+        let x_max = self
+            .series
+            .iter()
+            .flat_map(|sr| sr.points.iter().map(|p| p.0))
+            .fold(1.0f64, f64::max);
+        let y_max = self
+            .series
+            .iter()
+            .flat_map(|sr| sr.points.iter().map(|p| p.1))
+            .fold(1.0f64, f64::max);
+        let sx = |x: f64| x0 + (x / x_max) * (x1 - x0);
+        let sy = |y: f64| y0 - (y / y_max) * (y0 - y1);
+
+        // Axes.
+        let _ = writeln!(
+            s,
+            r#"<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="black"/>"#
+        );
+        let _ = writeln!(
+            s,
+            r#"<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="black"/>"#
+        );
+        // Ticks + gridlines.
+        let xstep = tick_step(x_max);
+        let mut t = 0.0;
+        while t <= x_max + 1e-9 {
+            let px = sx(t);
+            let _ = writeln!(
+                s,
+                r#"<line x1="{px}" y1="{y0}" x2="{px}" y2="{}" stroke="black"/><text x="{px}" y="{}" font-size="11" text-anchor="middle">{t}</text>"#,
+                y0 + 5.0,
+                y0 + 20.0
+            );
+            t += xstep;
+        }
+        let ystep = tick_step(y_max);
+        let mut t = 0.0;
+        while t <= y_max + 1e-9 {
+            let py = sy(t);
+            let _ = writeln!(
+                s,
+                r##"<line x1="{}" y1="{py}" x2="{x1}" y2="{py}" stroke="#dddddd"/><text x="{}" y="{}" font-size="11" text-anchor="end">{t}</text>"##,
+                x0 - 5.0,
+                x0 - 8.0,
+                py + 4.0
+            );
+            t += ystep;
+        }
+        // Axis labels.
+        let _ = writeln!(
+            s,
+            r#"<text x="{}" y="{}" font-size="13" text-anchor="middle">{}</text>"#,
+            (x0 + x1) / 2.0,
+            HEIGHT - 12.0,
+            esc(&self.x_label)
+        );
+        let _ = writeln!(
+            s,
+            r#"<text x="16" y="{}" font-size="13" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            (y0 + y1) / 2.0,
+            (y0 + y1) / 2.0,
+            esc(&self.y_label)
+        );
+
+        // Series lines + markers + legend.
+        for (i, sr) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let pts: Vec<String> = sr
+                .points
+                .iter()
+                .map(|(x, y)| format!("{:.1},{:.1}", sx(*x), sy(*y)))
+                .collect();
+            let _ = writeln!(
+                s,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                pts.join(" ")
+            );
+            for (x, y) in &sr.points {
+                let _ = writeln!(
+                    s,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                    sx(*x),
+                    sy(*y)
+                );
+            }
+            let ly = MARGIN_T + 16.0 * i as f64;
+            let _ = writeln!(
+                s,
+                r#"<rect x="{}" y="{}" width="12" height="3" fill="{color}"/><text x="{}" y="{}" font-size="12">{}</text>"#,
+                x1 + 10.0,
+                ly,
+                x1 + 28.0,
+                ly + 5.0,
+                esc(&sr.name)
+            );
+        }
+        s.push_str("</svg>\n");
+        s
+    }
+}
+
+/// One bar of a stacked chart: a label plus `(segment name, value)` pairs.
+#[derive(Debug, Clone)]
+pub struct Bar {
+    /// Bar label (e.g. "4 / merged").
+    pub label: String,
+    /// Stack segments, bottom-up.
+    pub segments: Vec<(String, f64)>,
+}
+
+/// A stacked bar chart (the paper's Figures 3 and 4 style).
+#[derive(Debug, Clone)]
+pub struct StackedBarChart {
+    /// Figure title.
+    pub title: String,
+    /// Y-axis label (e.g. "Execution Time (s)").
+    pub y_label: String,
+    /// Bars in display order.
+    pub bars: Vec<Bar>,
+}
+
+impl StackedBarChart {
+    /// Render to an SVG document string. Segment colors are assigned by
+    /// first appearance of each segment name, so the legend is shared
+    /// across bars.
+    pub fn to_svg(&self) -> String {
+        let mut s = svg_open(&self.title);
+        let (x0, x1) = (MARGIN_L, WIDTH - MARGIN_R);
+        let (y0, y1) = (HEIGHT - MARGIN_B, MARGIN_T);
+
+        let mut names: Vec<&str> = Vec::new();
+        for b in &self.bars {
+            for (n, _) in &b.segments {
+                if !names.contains(&n.as_str()) {
+                    names.push(n);
+                }
+            }
+        }
+        let color_of =
+            |n: &str| PALETTE[names.iter().position(|x| *x == n).unwrap_or(0) % PALETTE.len()];
+
+        let y_max = self
+            .bars
+            .iter()
+            .map(|b| b.segments.iter().map(|(_, v)| v).sum::<f64>())
+            .fold(1e-12f64, f64::max);
+        let sy = |y: f64| y0 - (y / y_max) * (y0 - y1);
+
+        // Axes + y ticks.
+        let _ = writeln!(
+            s,
+            r#"<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="black"/><line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="black"/>"#
+        );
+        let ystep = tick_step(y_max);
+        let mut t = 0.0;
+        while t <= y_max + 1e-9 {
+            let py = sy(t);
+            let _ = writeln!(
+                s,
+                r##"<line x1="{}" y1="{py}" x2="{x1}" y2="{py}" stroke="#dddddd"/><text x="{}" y="{}" font-size="11" text-anchor="end">{t:.0}</text>"##,
+                x0 - 5.0,
+                x0 - 8.0,
+                py + 4.0
+            );
+            t += ystep;
+        }
+        let _ = writeln!(
+            s,
+            r#"<text x="16" y="{}" font-size="13" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            (y0 + y1) / 2.0,
+            (y0 + y1) / 2.0,
+            esc(&self.y_label)
+        );
+
+        // Bars.
+        let n = self.bars.len().max(1) as f64;
+        let slot = (x1 - x0) / n;
+        let bar_w = slot * 0.6;
+        for (i, b) in self.bars.iter().enumerate() {
+            let bx = x0 + slot * (i as f64 + 0.2);
+            let mut acc = 0.0;
+            for (name, v) in &b.segments {
+                let top = sy(acc + v);
+                let h = sy(acc) - top;
+                let _ = writeln!(
+                    s,
+                    r#"<rect x="{bx:.1}" y="{top:.1}" width="{bar_w:.1}" height="{h:.1}" fill="{}"/>"#,
+                    color_of(name)
+                );
+                acc += v;
+            }
+            let _ = writeln!(
+                s,
+                r#"<text x="{:.1}" y="{}" font-size="10" text-anchor="middle">{}</text>"#,
+                bx + bar_w / 2.0,
+                y0 + 16.0,
+                esc(&b.label)
+            );
+        }
+        // Legend.
+        for (i, name) in names.iter().enumerate() {
+            let ly = MARGIN_T + 16.0 * i as f64;
+            let _ = writeln!(
+                s,
+                r#"<rect x="{}" y="{}" width="12" height="12" fill="{}"/><text x="{}" y="{}" font-size="12">{}</text>"#,
+                x1 + 10.0,
+                ly,
+                color_of(name),
+                x1 + 28.0,
+                ly + 10.0,
+                esc(name)
+            );
+        }
+        s.push_str("</svg>\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_series() -> Vec<Series> {
+        let mut a = Series::new("NSF abstracts");
+        let mut b = Series::new("Mix");
+        for t in [1.0, 4.0, 16.0] {
+            a.push(t, t.sqrt() * 2.0);
+            b.push(t, t.sqrt());
+        }
+        vec![a, b]
+    }
+
+    #[test]
+    fn line_chart_is_valid_svg_with_all_series() {
+        let svg = LineChart {
+            title: "Figure 1".into(),
+            x_label: "Number of Threads".into(),
+            y_label: "Self-Relative Speedup".into(),
+            series: sample_series(),
+        }
+        .to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains("NSF abstracts"));
+        assert!(svg.contains("Number of Threads"));
+    }
+
+    #[test]
+    fn line_chart_escapes_markup() {
+        let mut s = Series::new("a<b&c");
+        s.push(1.0, 1.0);
+        let svg = LineChart {
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![s],
+        }
+        .to_svg();
+        assert!(svg.contains("a&lt;b&amp;c"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn stacked_bars_share_segment_colors() {
+        let chart = StackedBarChart {
+            title: "Figure 3".into(),
+            y_label: "Execution Time (s)".into(),
+            bars: vec![
+                Bar {
+                    label: "1/disc".into(),
+                    segments: vec![("input+wc".into(), 3.0), ("kmeans".into(), 2.0)],
+                },
+                Bar {
+                    label: "1/merged".into(),
+                    segments: vec![("input+wc".into(), 3.0), ("kmeans".into(), 1.0)],
+                },
+            ],
+        };
+        let svg = chart.to_svg();
+        assert_eq!(svg.matches("<rect").count(), 4 + 2, "4 segments + 2 legend swatches");
+        // Same segment name -> same color in both bars.
+        let color = PALETTE[0];
+        assert!(svg.matches(&format!(r#"fill="{color}""#)).count() >= 3);
+        assert!(svg.contains("Execution Time"));
+    }
+
+    #[test]
+    fn bar_heights_scale_with_values() {
+        let chart = StackedBarChart {
+            title: "t".into(),
+            y_label: "y".into(),
+            bars: vec![Bar {
+                label: "b".into(),
+                segments: vec![("p".into(), 10.0)],
+            }],
+        };
+        let svg = chart.to_svg();
+        // The single segment spans the full plot height.
+        let expected_h = (HEIGHT - MARGIN_B) - MARGIN_T;
+        assert!(
+            svg.contains(&format!("height=\"{expected_h:.1}\"")),
+            "{svg}"
+        );
+    }
+
+    #[test]
+    fn tick_steps_are_round_numbers() {
+        assert_eq!(tick_step(8.0), 1.0);
+        assert_eq!(tick_step(20.0), 5.0);
+        assert_eq!(tick_step(120.0), 20.0);
+        assert_eq!(tick_step(0.6), 0.1);
+        assert_eq!(tick_step(0.0), 1.0);
+    }
+
+    #[test]
+    fn empty_charts_render_without_panicking() {
+        let svg = LineChart {
+            title: "empty".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![],
+        }
+        .to_svg();
+        assert!(svg.contains("</svg>"));
+        let svg = StackedBarChart {
+            title: "empty".into(),
+            y_label: "y".into(),
+            bars: vec![],
+        }
+        .to_svg();
+        assert!(svg.contains("</svg>"));
+    }
+}

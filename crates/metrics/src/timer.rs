@@ -1,0 +1,202 @@
+//! Phase timing.
+//!
+//! The paper's workflow figures are stacked bar charts of named phases.
+//! [`PhaseTimer`] accumulates durations under string labels, preserving
+//! first-use order so reports list phases in workflow order; [`PhaseReport`]
+//! is the immutable result. Durations are supplied by the caller rather
+//! than read from a wall clock here, because under the execution simulator
+//! (`hpa-exec`) phase durations are *virtual* — the operators time
+//! themselves against the executor's clock and record the result.
+
+use std::time::{Duration, Instant};
+
+/// A simple wall-clock stopwatch for real-time measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Elapsed wall time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Restart and return the lap time.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let d = now - self.started;
+        self.started = now;
+        d
+    }
+}
+
+/// Accumulates named phase durations in first-use order.
+///
+/// Phases may be recorded multiple times (e.g. one `kmeans` entry per Lloyd
+/// iteration); durations under the same label add up, which matches how the
+/// paper aggregates per-phase bars.
+#[derive(Debug, Default, Clone)]
+pub struct PhaseTimer {
+    phases: Vec<(String, Duration)>,
+}
+
+impl PhaseTimer {
+    /// Create an empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `d` to the phase named `label`, creating it if new.
+    pub fn record(&mut self, label: &str, d: Duration) {
+        if let Some((_, total)) = self.phases.iter_mut().find(|(l, _)| l == label) {
+            *total += d;
+        } else {
+            self.phases.push((label.to_string(), d));
+        }
+    }
+
+    /// Merge another timer's phases into this one (labels add; new labels
+    /// append in the other timer's order).
+    pub fn merge(&mut self, other: &PhaseTimer) {
+        for (label, d) in &other.phases {
+            self.record(label, *d);
+        }
+    }
+
+    /// Finish and return the immutable report.
+    pub fn finish(self) -> PhaseReport {
+        PhaseReport {
+            phases: self.phases,
+        }
+    }
+
+    /// Total across all phases so far.
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+}
+
+/// Immutable set of named phase durations, in recording order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseReport {
+    phases: Vec<(String, Duration)>,
+}
+
+impl PhaseReport {
+    /// Phases in recording order.
+    pub fn phases(&self) -> &[(String, Duration)] {
+        &self.phases
+    }
+
+    /// Duration of one phase, if recorded.
+    pub fn get(&self, label: &str) -> Option<Duration> {
+        self.phases
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, d)| *d)
+    }
+
+    /// Sum of all phases — the workflow's total execution time.
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Sum of the phases whose label is in `labels`; absent labels count 0.
+    pub fn total_of(&self, labels: &[&str]) -> Duration {
+        labels.iter().filter_map(|l| self.get(l)).sum()
+    }
+
+    /// Phase labels in recording order.
+    pub fn labels(&self) -> Vec<&str> {
+        self.phases.iter().map(|(l, _)| l.as_str()).collect()
+    }
+}
+
+impl std::fmt::Display for PhaseReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (label, d) in &self.phases {
+            writeln!(f, "{label:>16}  {:>10.3} s", d.as_secs_f64())?;
+        }
+        writeln!(f, "{:>16}  {:>10.3} s", "total", self.total().as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn record_accumulates_under_same_label() {
+        let mut t = PhaseTimer::new();
+        t.record("kmeans", ms(10));
+        t.record("kmeans", ms(5));
+        let r = t.finish();
+        assert_eq!(r.get("kmeans"), Some(ms(15)));
+        assert_eq!(r.total(), ms(15));
+    }
+
+    #[test]
+    fn phases_keep_first_use_order() {
+        let mut t = PhaseTimer::new();
+        t.record("input+wc", ms(1));
+        t.record("transform", ms(2));
+        t.record("input+wc", ms(3));
+        t.record("kmeans", ms(4));
+        let r = t.finish();
+        assert_eq!(r.labels(), vec!["input+wc", "transform", "kmeans"]);
+    }
+
+    #[test]
+    fn merge_adds_and_appends() {
+        let mut a = PhaseTimer::new();
+        a.record("x", ms(1));
+        let mut b = PhaseTimer::new();
+        b.record("x", ms(2));
+        b.record("y", ms(3));
+        a.merge(&b);
+        let r = a.finish();
+        assert_eq!(r.get("x"), Some(ms(3)));
+        assert_eq!(r.get("y"), Some(ms(3)));
+    }
+
+    #[test]
+    fn total_of_ignores_missing_labels() {
+        let mut t = PhaseTimer::new();
+        t.record("a", ms(1));
+        t.record("b", ms(2));
+        let r = t.finish();
+        assert_eq!(r.total_of(&["a", "zzz"]), ms(1));
+        assert_eq!(r.total_of(&["a", "b"]), ms(3));
+    }
+
+    #[test]
+    fn stopwatch_lap_resets() {
+        let mut s = Stopwatch::start();
+        std::thread::sleep(ms(2));
+        let lap = s.lap();
+        assert!(lap >= ms(1));
+        assert!(s.elapsed() < lap + ms(50));
+    }
+
+    #[test]
+    fn display_includes_total() {
+        let mut t = PhaseTimer::new();
+        t.record("input+wc", ms(1500));
+        let shown = format!("{}", t.finish());
+        assert!(shown.contains("input+wc"));
+        assert!(shown.contains("total"));
+        assert!(shown.contains("1.500"));
+    }
+}

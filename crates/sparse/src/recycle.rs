@@ -1,0 +1,138 @@
+//! Buffer recycling.
+//!
+//! §3.1 of the paper: "Recycling data structures throughout the K-means
+//! iterations to avoid redundant data copies and memory pressure. E.g., we
+//! do not create new objects during the iterations of the K-means
+//! algorithm." [`BufferPool`] is the reusable-allocation primitive behind
+//! that: checked-out `Vec`s return to the pool on drop, cleared but with
+//! capacity intact, so steady-state iterations allocate nothing.
+
+use std::cell::RefCell;
+
+/// A single-threaded free list of `Vec<T>` buffers.
+///
+/// Single-threaded by design: each worker owns its own pool (K-means keeps
+/// one per thread-chunk), which avoids synchronization on the hot path.
+#[derive(Debug, Default)]
+pub struct BufferPool<T> {
+    free: RefCell<Vec<Vec<T>>>,
+}
+
+impl<T> BufferPool<T> {
+    /// Empty pool.
+    pub fn new() -> Self {
+        BufferPool {
+            free: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Check out a cleared buffer, reusing a returned one when available.
+    pub fn take(&self) -> PooledVec<'_, T> {
+        let vec = self.free.borrow_mut().pop().unwrap_or_default();
+        PooledVec {
+            vec: Some(vec),
+            pool: self,
+        }
+    }
+
+    /// Number of idle buffers currently pooled.
+    pub fn idle(&self) -> usize {
+        self.free.borrow().len()
+    }
+
+    fn give_back(&self, mut vec: Vec<T>) {
+        vec.clear();
+        self.free.borrow_mut().push(vec);
+    }
+}
+
+/// A `Vec` checked out of a [`BufferPool`]; derefs to the vector and
+/// returns it to the pool on drop.
+#[derive(Debug)]
+pub struct PooledVec<'p, T> {
+    vec: Option<Vec<T>>,
+    pool: &'p BufferPool<T>,
+}
+
+impl<T> PooledVec<'_, T> {
+    /// Detach the buffer from the pool (it will not be recycled).
+    pub fn into_inner(mut self) -> Vec<T> {
+        self.vec.take().expect("buffer present until drop")
+    }
+}
+
+impl<T> std::ops::Deref for PooledVec<'_, T> {
+    type Target = Vec<T>;
+    fn deref(&self) -> &Vec<T> {
+        self.vec.as_ref().expect("buffer present until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for PooledVec<'_, T> {
+    fn deref_mut(&mut self) -> &mut Vec<T> {
+        self.vec.as_mut().expect("buffer present until drop")
+    }
+}
+
+impl<T> Drop for PooledVec<'_, T> {
+    fn drop(&mut self) {
+        if let Some(vec) = self.vec.take() {
+            self.pool.give_back(vec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_recycle_with_capacity() {
+        let pool: BufferPool<u64> = BufferPool::new();
+        let ptr;
+        {
+            let mut b = pool.take();
+            b.extend(0..100);
+            ptr = b.as_ptr();
+        } // returned on drop
+        assert_eq!(pool.idle(), 1);
+        let b2 = pool.take();
+        assert!(b2.is_empty(), "returned buffer is cleared");
+        assert!(b2.capacity() >= 100, "capacity preserved");
+        assert_eq!(b2.as_ptr(), ptr, "same allocation reused");
+    }
+
+    #[test]
+    fn multiple_checkouts_coexist() {
+        let pool: BufferPool<u8> = BufferPool::new();
+        let mut a = pool.take();
+        let mut b = pool.take();
+        a.push(1);
+        b.push(2);
+        assert_eq!(a[0], 1);
+        assert_eq!(b[0], 2);
+        drop(a);
+        drop(b);
+        assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn into_inner_detaches() {
+        let pool: BufferPool<u8> = BufferPool::new();
+        let mut b = pool.take();
+        b.push(7);
+        let v = b.into_inner();
+        assert_eq!(v, vec![7]);
+        assert_eq!(pool.idle(), 0, "detached buffer not recycled");
+    }
+
+    #[test]
+    fn steady_state_does_not_grow_pool() {
+        let pool: BufferPool<u32> = BufferPool::new();
+        for i in 0..10 {
+            let mut b = pool.take();
+            b.extend(0..i);
+        }
+        assert_eq!(pool.idle(), 1, "sequential reuse keeps one buffer");
+    }
+}

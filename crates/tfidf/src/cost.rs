@@ -1,0 +1,252 @@
+//! Analytic cost annotations for the TF/IDF phases.
+//!
+//! These functions translate workload statistics (document bytes, token
+//! estimates, dictionary sizes) into [`TaskCost`]s using the dictionary
+//! cost model of `hpa_dict::costmodel`. They are only consulted by the
+//! execution simulator in analytic mode; real-thread runs measure the
+//! actual Rust structures instead. Token-count estimates are derived from
+//! byte counts (average token + separator ≈ 7.3 bytes in the calibrated
+//! corpora) so costs are deterministic and computable before a chunk runs.
+
+use hpa_corpus::Document;
+use hpa_dict::{DictKind, Dictionary as _};
+use hpa_exec::TaskCost;
+use hpa_io::READ_CPU_NS_PER_BYTE;
+use std::ops::Range;
+
+/// Estimated bytes per token (word + separator) in the synthetic corpora.
+pub const BYTES_PER_TOKEN: f64 = 7.3;
+/// Estimated fraction of a document's tokens that are distinct.
+pub const DISTINCT_FRACTION: f64 = 0.45;
+/// Tokenizer CPU cost per input byte (scan + classify).
+pub const TOKENIZE_NS_PER_BYTE: f64 = 0.8;
+
+/// Cost of the input + word-count work for the documents of `range`.
+pub fn wc_chunk_cost(
+    kind: DictKind,
+    docs: &[Document],
+    range: Range<usize>,
+    charge_io: bool,
+) -> TaskCost {
+    let bytes: u64 = range.clone().map(|i| docs[i].text.len() as u64).sum();
+    let files = range.len() as u64;
+    let tokens = bytes as f64 / BYTES_PER_TOKEN;
+    let distinct = tokens * DISTINCT_FRACTION;
+    let hits = tokens - distinct;
+
+    // Per-document dictionary: created once per document, then every
+    // distinct token inserts once and the rest increment. Average per-doc
+    // dictionary size ~ distinct/files.
+    let avg_doc_dict = if files > 0 {
+        (distinct / files as f64) as usize
+    } else {
+        0
+    };
+    let create = kind.creation_cost();
+    let insert = kind.insert_cost(avg_doc_dict);
+    let incr = kind.increment_cost(avg_doc_dict);
+    // Document-frequency updates: one per distinct token, into a
+    // chunk-local dictionary that grows toward vocabulary scale. The
+    // global structure is never the pre-sized per-document kind.
+    let df_kind = match kind {
+        DictKind::HashPresized(_) => DictKind::Hash,
+        k => k,
+    };
+    let df_up = df_kind.increment_cost(50_000);
+
+    let cpu = bytes as f64 * (TOKENIZE_NS_PER_BYTE + READ_CPU_NS_PER_BYTE)
+        + files as f64 * create.cpu_ns
+        + distinct * (insert.cpu_ns + df_up.cpu_ns)
+        + hits * incr.cpu_ns;
+    let mem = bytes as f64
+        + files as f64 * create.mem_bytes
+        + distinct * (insert.mem_bytes + df_up.mem_bytes)
+        + hits * incr.mem_bytes;
+
+    TaskCost {
+        cpu_ns: cpu as u64,
+        mem_bytes: mem as u64,
+        io_read_bytes: if charge_io { bytes } else { 0 },
+        io_ops: if charge_io { files } else { 0 },
+        ..Default::default()
+    }
+}
+
+/// Cost of merging one chunk-local document-frequency dictionary into the
+/// global one (the serial tail of the word-count phase).
+pub fn df_merge_cost(kind: DictKind, num_docs: usize, threads: usize) -> TaskCost {
+    // Each partial holds roughly the vocabulary observed in its share of
+    // the documents; merging re-inserts each entry once.
+    let tokens_per_chunk = num_docs as f64 / threads.max(1) as f64 * 400.0;
+    let entries = (tokens_per_chunk * 0.25).min(300_000.0);
+    let kind = match kind {
+        DictKind::HashPresized(_) => DictKind::Hash,
+        k => k,
+    };
+    let up = kind.increment_cost(150_000);
+    TaskCost {
+        cpu_ns: (entries * up.cpu_ns) as u64,
+        mem_bytes: (entries * up.mem_bytes) as u64,
+        ..Default::default()
+    }
+}
+
+/// Cost of building the vocabulary: one sorted walk over the global
+/// dictionary plus one insert per word into the index.
+pub fn vocab_build_cost(kind: DictKind, vocab_len: usize) -> TaskCost {
+    let kind = match kind {
+        DictKind::HashPresized(_) => DictKind::Hash,
+        k => k,
+    };
+    let walk = kind.sorted_iter_cost(vocab_len);
+    let insert = kind.insert_cost(vocab_len);
+    let per_word = walk.cpu_ns + insert.cpu_ns + 30.0; // +30ns string copy
+    let per_word_mem = walk.mem_bytes + insert.mem_bytes + 24.0;
+    TaskCost {
+        cpu_ns: (vocab_len as f64 * per_word) as u64,
+        mem_bytes: (vocab_len as f64 * per_word_mem) as u64,
+        ..Default::default()
+    }
+}
+
+/// Cost of transforming the documents of `range` into TF·IDF vectors:
+/// per distinct term, one storage-order iteration step over the
+/// per-document dictionary, one lookup in the vocabulary index, the
+/// score computation, and a numeric sort of the resulting id/weight
+/// pairs (trivial for the tree, whose walk already yields id order).
+pub fn transform_chunk_cost(
+    kind: DictKind,
+    per_doc: &[crate::DocTermCounts],
+    vocab_len: usize,
+    range: Range<usize>,
+) -> TaskCost {
+    let mut cpu = 0.0;
+    let mut mem = 0.0;
+    // The vocabulary index is the global (never pre-sized) structure.
+    let lookup_kind = match kind {
+        DictKind::HashPresized(_) => DictKind::Hash,
+        k => k,
+    };
+    let lookup = lookup_kind.lookup_cost(vocab_len);
+    for i in range {
+        let k = per_doc[i].counts.len();
+        let iter = kind.iter_step_cost(k);
+        // Numeric pair sort: the tree yields ids pre-sorted (branch-
+        // predictable ~3 ns/elem verification), hash kinds pay a real
+        // sort of ~12·log2(k) ns/elem.
+        let sort = match kind {
+            DictKind::BTree => 3.0,
+            _ => 12.0 * (k.max(2) as f64).log2(),
+        };
+        let per_term = iter.cpu_ns + lookup.cpu_ns + sort + 35.0; // +score+push
+        let per_term_mem = iter.mem_bytes + lookup.mem_bytes + 12.0;
+        cpu += k as f64 * per_term + 60.0; // +normalize pass etc.
+        mem += k as f64 * per_term_mem;
+    }
+    TaskCost {
+        cpu_ns: cpu as u64,
+        mem_bytes: mem as u64,
+        ..Default::default()
+    }
+}
+
+/// Cost of parsing an ARFF matrix of `rows` (already materialized; used
+/// for the "kmeans-input" phase of the discrete workflow). The file was
+/// written moments earlier, so it is read back from the page cache — the
+/// cost is float parsing (CPU) plus the memory traffic of the text and
+/// the materialized vectors, exactly the "parsing and data conversions"
+/// overhead §1 of the paper attributes to discrete workflows.
+pub fn arff_read_cost(rows: &[hpa_sparse::SparseVec], dim: usize) -> TaskCost {
+    let nnz: u64 = rows.iter().map(|r| r.nnz() as u64).sum();
+    // Text form: "{i w,...}" ~ 22 bytes per entry; header: one attribute
+    // line (~25 bytes) per dimension.
+    let bytes = nnz * 22 + dim as u64 * 25;
+    TaskCost {
+        // iostream-class float parsing: ~220 ns/value before the
+        // machine model's 2016-testbed CPU scaling (~1.2 us effective).
+        cpu_ns: nnz * 220 + dim as u64 * 100,
+        mem_bytes: bytes * 2 + nnz * 12,
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpa_corpus::{Corpus, CorpusSpec};
+
+    fn sample_corpus() -> Corpus {
+        CorpusSpec::mix().scaled(0.002).generate(1)
+    }
+
+    #[test]
+    fn wc_cost_scales_with_bytes() {
+        let c = sample_corpus();
+        let docs = c.documents();
+        let half = wc_chunk_cost(DictKind::BTree, docs, 0..docs.len() / 2, true);
+        let full = wc_chunk_cost(DictKind::BTree, docs, 0..docs.len(), true);
+        assert!(full.cpu_ns > half.cpu_ns);
+        assert_eq!(full.io_ops, docs.len() as u64);
+        assert_eq!(full.io_read_bytes, c.total_bytes());
+    }
+
+    #[test]
+    fn wc_without_io_charge_has_no_io() {
+        let c = sample_corpus();
+        let cost = wc_chunk_cost(DictKind::Hash, c.documents(), 0..c.len(), false);
+        assert_eq!(cost.io_read_bytes, 0);
+        assert_eq!(cost.io_ops, 0);
+        assert!(cost.cpu_ns > 0);
+    }
+
+    #[test]
+    fn umap_wc_costs_more_cpu_than_map() {
+        // The paper: input+wc is faster with map. Its u-map configuration
+        // is the 4K-pre-sized table, whose creation cost and cold sparse
+        // array dominate the insert-heavy phase.
+        let c = sample_corpus();
+        let map = wc_chunk_cost(DictKind::BTree, c.documents(), 0..c.len(), false);
+        let umap = wc_chunk_cost(DictKind::PAPER_PRESIZE, c.documents(), 0..c.len(), false);
+        assert!(
+            umap.cpu_ns > map.cpu_ns,
+            "umap {} map {}",
+            umap.cpu_ns,
+            map.cpu_ns
+        );
+    }
+
+    #[test]
+    fn transform_favours_umap_cpu_but_costs_more_traffic() {
+        let c = sample_corpus();
+        let exec = hpa_exec::Exec::sequential();
+        let op = crate::TfIdf::new(crate::TfIdfConfig {
+            dict_kind: DictKind::BTree,
+            grain: 0,
+            charge_input_io: false,
+            ..Default::default()
+        });
+        let counts = op.count_words(&exec, &c);
+        let v = 185_000;
+        let map = transform_chunk_cost(DictKind::BTree, &counts.per_doc, v, 0..c.len());
+        let umap = transform_chunk_cost(DictKind::Hash, &counts.per_doc, v, 0..c.len());
+        assert!(umap.cpu_ns < map.cpu_ns, "umap cpu {} map cpu {}", umap.cpu_ns, map.cpu_ns);
+        assert!(
+            umap.mem_bytes > map.mem_bytes,
+            "umap mem {} map mem {}",
+            umap.mem_bytes,
+            map.mem_bytes
+        );
+    }
+
+    #[test]
+    fn arff_read_cost_tracks_nnz() {
+        let rows = vec![
+            hpa_sparse::SparseVec::from_pairs(vec![(0, 1.0), (5, 2.0)]),
+            hpa_sparse::SparseVec::from_pairs(vec![(3, 1.0)]),
+        ];
+        let cost = arff_read_cost(&rows, 10);
+        assert_eq!(cost.io_read_bytes, 0, "intermediate is page-cache warm");
+        assert_eq!(cost.mem_bytes, (3 * 22 + 250) * 2 + 3 * 12);
+        assert!(cost.cpu_ns > 0);
+    }
+}

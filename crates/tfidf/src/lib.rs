@@ -1,0 +1,507 @@
+#![warn(missing_docs)]
+//! The TF/IDF operator.
+//!
+//! Mirrors the paper's two-phase structure (§3.2):
+//!
+//! 1. **input + word count** ([`TfIdf::count_words`]) — a parallel loop
+//!    over documents: tokenize, count term frequencies into a
+//!    per-document dictionary, and count document frequencies into
+//!    per-chunk dictionaries that are merged at the end. The dictionary
+//!    implementation is the [`DictKind`] under study in Figure 4.
+//! 2. **transform + output** — [`TfIdf::build_vocab`] assigns term ids in
+//!    sorted word order; [`TfIdf::transform`] (parallel per document)
+//!    converts term counts to normalized TF·IDF sparse vectors;
+//!    [`write_arff`] emits the WEKA-format matrix **sequentially**,
+//!    because "the ARFF format does not facilitate parallel output".
+//!
+//! Every loop carries analytic [`TaskCost`] annotations derived from the
+//! dictionary cost model (`hpa_dict::costmodel`), so the execution
+//! simulator reproduces the paper's scalability results; under real
+//! threads the annotations are ignored and the genuine Rust structures
+//! are measured.
+
+pub mod cost;
+pub mod vocab;
+
+pub use vocab::Vocab;
+
+use hpa_arff::{ArffError, ArffHeader, ArffReader, ArffWriter};
+use hpa_corpus::{Corpus, Tokenizer};
+use hpa_dict::{AnyDict, DictKind, Dictionary};
+use hpa_exec::{Exec, TaskCost};
+use hpa_io::ByteCounter;
+use hpa_sparse::SparseVec;
+use parking_lot::Mutex;
+use std::io::{BufRead, Write};
+
+/// Configuration of the TF/IDF operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TfIdfConfig {
+    /// Dictionary structure for per-document term counts and the global
+    /// document-frequency map (Figure 4's independent variable).
+    pub dict_kind: DictKind,
+    /// Chunk size for the parallel document loops (0 = automatic).
+    pub grain: usize,
+    /// Charge the input loop with storage-read costs, as if each document
+    /// were being read from disk. Used when the corpus is held in memory
+    /// but the experiment models the paper's read-from-disk pipeline.
+    pub charge_input_io: bool,
+    /// Drop terms that appear in fewer than this many documents (1 keeps
+    /// everything). Pruning hapax legomena shrinks the vocabulary — and
+    /// therefore every dictionary and the ARFF header — dramatically.
+    pub min_df: u32,
+    /// Drop terms that appear in more than this fraction of documents
+    /// (1.0 keeps everything) — stop-word suppression without a list,
+    /// since `df = N` terms carry zero IDF weight anyway.
+    pub max_df_fraction: f64,
+}
+
+impl Default for TfIdfConfig {
+    fn default() -> Self {
+        TfIdfConfig {
+            dict_kind: DictKind::BTree,
+            grain: 0,
+            charge_input_io: true,
+            min_df: 1,
+            max_df_fraction: 1.0,
+        }
+    }
+}
+
+/// Term counts of one document.
+#[derive(Debug, Clone)]
+pub struct DocTermCounts {
+    /// word → term frequency.
+    pub counts: AnyDict,
+    /// Total tokens in the document.
+    pub total_terms: u64,
+}
+
+/// Result of the input + word-count phase.
+#[derive(Debug)]
+pub struct WordCounts {
+    /// Per-document term frequencies, indexed by document id.
+    pub per_doc: Vec<DocTermCounts>,
+    /// word → number of documents containing it.
+    pub df: AnyDict,
+    /// Total bytes of text processed.
+    pub bytes: u64,
+    /// Dictionary kind the counts were built with.
+    pub dict_kind: DictKind,
+}
+
+impl WordCounts {
+    /// Number of documents counted.
+    pub fn num_docs(&self) -> usize {
+        self.per_doc.len()
+    }
+
+    /// Actual heap footprint of all dictionaries (Rust structures).
+    pub fn heap_bytes(&self) -> u64 {
+        self.per_doc
+            .iter()
+            .map(|d| d.counts.heap_bytes())
+            .sum::<u64>()
+            + self.df.heap_bytes()
+    }
+
+    /// Analytic resident footprint of the *modelled C++* structures —
+    /// the number the paper's "420 MB vs 12.8 GB" comparison refers to.
+    pub fn modeled_resident_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        for d in &self.per_doc {
+            let mut strings = 0u64;
+            d.counts.for_each_sorted(&mut |w, _| strings += w.len() as u64);
+            total += self.dict_kind.resident_bytes(d.counts.len(), strings);
+        }
+        let mut df_strings = 0u64;
+        self.df.for_each_sorted(&mut |w, _| df_strings += w.len() as u64);
+        // The global DF dictionary is built once (never pre-sized per
+        // document), so charge it as a plain structure of its kind.
+        let global_kind = match self.dict_kind {
+            DictKind::HashPresized(_) => DictKind::Hash,
+            k => k,
+        };
+        total + global_kind.resident_bytes(self.df.len(), df_strings)
+    }
+}
+
+/// The TF/IDF matrix: vocabulary plus one normalized sparse vector per
+/// document.
+#[derive(Debug)]
+pub struct TfIdfModel {
+    /// Term vocabulary (id ↔ word ↔ document frequency).
+    pub vocab: Vocab,
+    /// Normalized TF·IDF vector per document, indexed by document id.
+    pub vectors: Vec<SparseVec>,
+    /// Number of documents (the `N` of the IDF formula).
+    pub num_docs: usize,
+}
+
+/// The TF/IDF operator.
+#[derive(Debug, Clone, Default)]
+pub struct TfIdf {
+    /// Operator configuration.
+    pub config: TfIdfConfig,
+}
+
+impl TfIdf {
+    /// New operator with the given configuration.
+    pub fn new(config: TfIdfConfig) -> Self {
+        TfIdf { config }
+    }
+
+    /// Phase 1: parallel tokenize + count. ("input+wc" in the figures.)
+    pub fn count_words(&self, exec: &Exec, corpus: &Corpus) -> WordCounts {
+        let kind = self.config.dict_kind;
+        let n = corpus.len();
+        let docs = corpus.documents();
+        let slots: Vec<Mutex<Option<DocTermCounts>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+
+        // Per-chunk document-frequency dictionaries, merged sequentially
+        // afterwards (the merge is the serial tail of this phase). One
+        // partial per ~thread, mirroring Cilk reducer semantics.
+        let df_grain = if self.config.grain > 0 {
+            self.config.grain
+        } else {
+            n.div_ceil(exec.threads())
+        };
+        let charge_io = self.config.charge_input_io;
+        let df = exec.par_fold_reduce(
+            n,
+            df_grain,
+            || kind.new_dict(),
+            |mut df_local: AnyDict, i| {
+                let doc = &docs[i];
+                let mut counts = kind.new_dict();
+                let mut tok = Tokenizer::new();
+                let mut total_terms = 0u64;
+                tok.for_each(&doc.text, |w| {
+                    total_terms += 1;
+                    if counts.add(w, 1) == 1 {
+                        df_local.add(w, 1);
+                    }
+                });
+                *slots[i].lock() = Some(DocTermCounts { counts, total_terms });
+                df_local
+            },
+            |mut a, b| {
+                a.merge_from(&b);
+                a
+            },
+            |range| cost::wc_chunk_cost(kind, docs, range, charge_io),
+            cost::df_merge_cost(kind, n, exec.threads()),
+        );
+        let df = df.unwrap_or_else(|| kind.new_dict());
+
+        let per_doc: Vec<DocTermCounts> = slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("document counted"))
+            .collect();
+        WordCounts {
+            per_doc,
+            df,
+            bytes: corpus.total_bytes(),
+            dict_kind: kind,
+        }
+    }
+
+    /// Build the vocabulary from the document-frequency map: term ids are
+    /// assigned in ascending word order (a serial walk over the global
+    /// dictionary — sorted for free on the tree, collect-and-sort on the
+    /// hash table).
+    pub fn build_vocab(&self, exec: &Exec, counts: &WordCounts) -> Vocab {
+        let kind = self.config.dict_kind;
+        let max_df = (self.config.max_df_fraction * counts.num_docs() as f64).ceil() as u64;
+        let min_df = self.config.min_df.max(1) as u64;
+        exec.serial(cost::vocab_build_cost(kind, counts.df.len()), || {
+            Vocab::from_df_dict_pruned(kind, &counts.df, min_df, max_df)
+        })
+    }
+
+    /// Phase 2a ("transform"): parallel conversion of term counts into
+    /// normalized TF·IDF sparse vectors.
+    pub fn transform(&self, exec: &Exec, counts: &WordCounts, vocab: &Vocab) -> TfIdfModel {
+        let n = counts.num_docs();
+        let num_docs = n;
+        let kind = self.config.dict_kind;
+        let slots: Vec<Mutex<Option<SparseVec>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let per_doc = &counts.per_doc;
+        exec.par_for_costed(
+            n,
+            self.config.grain,
+            |i| {
+                let doc = &per_doc[i];
+                let mut pairs: Vec<(u32, f64)> = Vec::with_capacity(doc.counts.len());
+                // Storage-order walk: sorting happens downstream on the
+                // numeric term ids (cheap), not on the words — the hash
+                // dictionary need not pay a string sort here.
+                doc.counts.for_each(&mut |word, tf| {
+                    if let Some((id, df)) = vocab.lookup(word) {
+                        let idf = (num_docs as f64 / df as f64).ln();
+                        pairs.push((id, tf as f64 * idf));
+                    }
+                });
+                let mut v = SparseVec::from_pairs(pairs);
+                v.normalize();
+                *slots[i].lock() = Some(v);
+            },
+            |range| cost::transform_chunk_cost(kind, per_doc, vocab.len(), range),
+        );
+        let vectors = slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("document transformed"))
+            .collect();
+        TfIdfModel {
+            vocab: vocab.clone(),
+            vectors,
+            num_docs,
+        }
+    }
+
+    /// Convenience: phases 1 + vocabulary + 2a in sequence.
+    pub fn fit(&self, exec: &Exec, corpus: &Corpus) -> TfIdfModel {
+        let counts = self.count_words(exec, corpus);
+        let vocab = self.build_vocab(exec, &counts);
+        self.transform(exec, &counts, &vocab)
+    }
+}
+
+/// Phase 2b ("tfidf-output"): write the model as a sparse ARFF file.
+/// Sequential by format design; charged to the simulated storage device.
+pub fn write_arff<W: Write>(exec: &Exec, model: &TfIdfModel, out: W) -> Result<W, ArffError> {
+    exec.serial_costed(|| {
+        let result = (|| {
+            let mut writer = ArffWriter::new(ByteCounter::new(out));
+            let header = ArffHeader::numeric(
+                "tfidf",
+                (0..model.vocab.len()).map(|id| model.vocab.word(id as u32).to_string()),
+            );
+            writer.write_header(&header)?;
+            for v in &model.vectors {
+                writer.write_sparse_row(v)?;
+            }
+            writer.finish()
+        })();
+        match result {
+            Ok(counter) => {
+                let cost = counter.cost();
+                (Ok(counter.into_inner()), cost)
+            }
+            Err(e) => (Err(e), TaskCost::default()),
+        }
+    })
+}
+
+/// "kmeans-input": read a sparse matrix back from ARFF. Sequential, like
+/// the write. Returns the vectors and the attribute count (dimension).
+pub fn read_arff<R: BufRead>(exec: &Exec, input: R) -> Result<(Vec<SparseVec>, usize), ArffError> {
+    exec.serial_costed(|| {
+        let result = (|| {
+            let mut reader = ArffReader::new(input)?;
+            let dim = reader.header().dim();
+            let rows = reader.read_all()?;
+            Ok((rows, dim))
+        })();
+        let cost = match &result {
+            Ok((rows, dim)) => cost::arff_read_cost(rows, *dim),
+            Err(_) => TaskCost::default(),
+        };
+        (result, cost)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpa_corpus::Document;
+
+    fn corpus() -> Corpus {
+        Corpus::from_documents(
+            "t",
+            vec![
+                Document {
+                    id: 0,
+                    name: "a".into(),
+                    text: "apple banana apple".into(),
+                },
+                Document {
+                    id: 1,
+                    name: "b".into(),
+                    text: "banana cherry".into(),
+                },
+                Document {
+                    id: 2,
+                    name: "c".into(),
+                    text: "apple cherry cherry dates".into(),
+                },
+            ],
+        )
+    }
+
+    fn op(kind: DictKind) -> TfIdf {
+        TfIdf::new(TfIdfConfig {
+            dict_kind: kind,
+            grain: 0,
+            charge_input_io: false,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn word_counts_match_hand_computation() {
+        for kind in [DictKind::BTree, DictKind::Hash] {
+            let exec = Exec::sequential();
+            let counts = op(kind).count_words(&exec, &corpus());
+            assert_eq!(counts.num_docs(), 3);
+            assert_eq!(counts.per_doc[0].counts.get("apple"), Some(2));
+            assert_eq!(counts.per_doc[0].counts.get("banana"), Some(1));
+            assert_eq!(counts.per_doc[0].total_terms, 3);
+            assert_eq!(counts.df.get("apple"), Some(2));
+            assert_eq!(counts.df.get("banana"), Some(2));
+            assert_eq!(counts.df.get("cherry"), Some(2));
+            assert_eq!(counts.df.get("dates"), Some(1));
+            assert_eq!(counts.df.len(), 4);
+        }
+    }
+
+    #[test]
+    fn vocabulary_ids_in_sorted_word_order() {
+        let exec = Exec::sequential();
+        let o = op(DictKind::Hash);
+        let counts = o.count_words(&exec, &corpus());
+        let vocab = o.build_vocab(&exec, &counts);
+        assert_eq!(vocab.len(), 4);
+        assert_eq!(vocab.word(0), "apple");
+        assert_eq!(vocab.word(1), "banana");
+        assert_eq!(vocab.word(2), "cherry");
+        assert_eq!(vocab.word(3), "dates");
+        assert_eq!(vocab.lookup("cherry"), Some((2, 2)));
+        assert_eq!(vocab.lookup("missing"), None);
+    }
+
+    #[test]
+    fn tfidf_scores_match_formula() {
+        let exec = Exec::sequential();
+        let o = op(DictKind::BTree);
+        let model = o.fit(&exec, &corpus());
+        assert_eq!(model.vectors.len(), 3);
+        // Doc 0: apple tf=2 df=2, banana tf=1 df=2; idf = ln(3/2) both.
+        let idf = (3.0f64 / 2.0).ln();
+        let raw_apple = 2.0 * idf;
+        let raw_banana = 1.0 * idf;
+        let norm = (raw_apple * raw_apple + raw_banana * raw_banana).sqrt();
+        let v0 = &model.vectors[0];
+        assert!((v0.get(0) - raw_apple / norm).abs() < 1e-12);
+        assert!((v0.get(1) - raw_banana / norm).abs() < 1e-12);
+        // Vectors are unit-normalized.
+        for v in &model.vectors {
+            assert!((v.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn both_dict_kinds_produce_identical_models() {
+        let exec = Exec::sequential();
+        let a = op(DictKind::BTree).fit(&exec, &corpus());
+        let b = op(DictKind::Hash).fit(&exec, &corpus());
+        assert_eq!(a.vectors.len(), b.vectors.len());
+        for (x, y) in a.vectors.iter().zip(&b.vectors) {
+            assert_eq!(x.terms(), y.terms());
+            for (wx, wy) in x.weights().iter().zip(y.weights()) {
+                assert!((wx - wy).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn results_identical_across_executors() {
+        let seq = op(DictKind::BTree).fit(&Exec::sequential(), &corpus());
+        for exec in [
+            Exec::pool(3),
+            Exec::simulated(4, hpa_exec::MachineModel::default()),
+        ] {
+            let other = op(DictKind::BTree).fit(&exec, &corpus());
+            assert_eq!(seq.vectors.len(), other.vectors.len());
+            for (x, y) in seq.vectors.iter().zip(&other.vectors) {
+                assert_eq!(x.terms(), y.terms(), "under {exec:?}");
+                assert_eq!(x.weights(), y.weights(), "under {exec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn arff_round_trip_preserves_matrix() {
+        let exec = Exec::sequential();
+        let model = op(DictKind::BTree).fit(&exec, &corpus());
+        let bytes = write_arff(&exec, &model, Vec::new()).unwrap();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        assert!(text.contains("@ATTRIBUTE apple NUMERIC"));
+        let (rows, dim) = read_arff(&exec, std::io::Cursor::new(bytes)).unwrap();
+        assert_eq!(dim, 4);
+        assert_eq!(rows.len(), 3);
+        for (orig, got) in model.vectors.iter().zip(&rows) {
+            assert_eq!(orig.terms(), got.terms());
+            for (a, b) in orig.weights().iter().zip(got.weights()) {
+                assert_eq!(a, b, "f64 display round-trips exactly");
+            }
+        }
+    }
+
+    #[test]
+    fn term_appearing_everywhere_gets_zero_weight() {
+        let exec = Exec::sequential();
+        let c = Corpus::from_documents(
+            "t",
+            vec![
+                Document {
+                    id: 0,
+                    name: "a".into(),
+                    text: "common alpha".into(),
+                },
+                Document {
+                    id: 1,
+                    name: "b".into(),
+                    text: "common beta".into(),
+                },
+            ],
+        );
+        let model = op(DictKind::BTree).fit(&exec, &c);
+        // "common" has df = N => idf = 0 => zero weight everywhere.
+        let common_id = model.vocab.lookup("common").unwrap().0;
+        for v in &model.vectors {
+            assert_eq!(v.get(common_id), 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_corpus_yields_empty_model() {
+        let exec = Exec::sequential();
+        let model = op(DictKind::BTree).fit(&exec, &Corpus::default());
+        assert_eq!(model.vectors.len(), 0);
+        assert_eq!(model.vocab.len(), 0);
+    }
+
+    #[test]
+    fn modeled_memory_contrast_between_kinds() {
+        let exec = Exec::sequential();
+        let big = CorpusFixture::generate();
+        let map = op(DictKind::BTree).count_words(&exec, &big);
+        let umap = op(DictKind::PAPER_PRESIZE).count_words(&exec, &big);
+        assert!(
+            umap.modeled_resident_bytes() > 5 * map.modeled_resident_bytes() / 2,
+            "umap {} vs map {}",
+            umap.modeled_resident_bytes(),
+            map.modeled_resident_bytes()
+        );
+        assert!(umap.heap_bytes() > map.heap_bytes());
+    }
+
+    struct CorpusFixture;
+    impl CorpusFixture {
+        fn generate() -> Corpus {
+            hpa_corpus::CorpusSpec::mix().scaled(0.003).generate(3)
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Scaling study: use the execution simulator to explore how a workflow
+//! would behave on machines you don't have — the core of what this
+//! reproduction adds over the paper's fixed testbed.
+//!
+//! Sweeps core counts and memory bandwidths for the fused workflow and
+//! prints a small matrix of virtual execution times plus the Cilkview-
+//! style work/span parallelism ceiling.
+//!
+//! ```sh
+//! cargo run --release --example scaling_study
+//! ```
+
+use hpa::exec::{CostMode, MachineModel};
+use hpa::prelude::*;
+
+fn main() {
+    let corpus = CorpusSpec::nsf_abstracts().scaled(0.01).generate(1);
+    println!(
+        "workload: fused TF/IDF → K-means on {} documents\n",
+        corpus.len()
+    );
+
+    let build = || {
+        WorkflowBuilder::new()
+            .tfidf(TfIdfConfig::default())
+            .kmeans(KMeansConfig {
+                k: 8,
+                max_iters: 10,
+                tol: 0.0,
+                ..Default::default()
+            })
+            .fused()
+    };
+
+    // Sweep 1: cores at the default (paper-class) machine.
+    println!("cores  virtual time   speedup   (paper-class machine)");
+    let mut t1 = None;
+    for cores in [1, 2, 4, 8, 16, 32, 64] {
+        let exec = Exec::simulated_with(cores, MachineModel::default(), CostMode::Analytic);
+        let out = build().run(&corpus, &exec).expect("workflow runs");
+        let t = out.phases.total().as_secs_f64();
+        let base = *t1.get_or_insert(t);
+        println!("{cores:>5}  {t:>10.3} s  {:>7.2}x", base / t);
+    }
+
+    // Sweep 2: what if memory bandwidth doubled? (The paper's Figure 4
+    // argument is exactly that bandwidth limits scaling.)
+    println!("\ncores  virtual time   speedup   (2x memory bandwidth)");
+    let fast_mem = MachineModel {
+        mem_bandwidth: 50.0e9,
+        core_mem_bandwidth: 12.0e9,
+        ..MachineModel::default()
+    };
+    let mut t1 = None;
+    for cores in [1, 8, 32, 64] {
+        let exec = Exec::simulated_with(cores, fast_mem, CostMode::Analytic);
+        let out = build().run(&corpus, &exec).expect("workflow runs");
+        let t = out.phases.total().as_secs_f64();
+        let base = *t1.get_or_insert(t);
+        println!("{cores:>5}  {t:>10.3} s  {:>7.2}x", base / t);
+    }
+
+    // Work/span: the executor tracks the Cilkview parallelism ceiling.
+    let exec = Exec::simulated_with(16, MachineModel::default(), CostMode::Analytic);
+    let _ = build().run(&corpus, &exec).expect("workflow runs");
+    let state = exec.sim_state().expect("simulated executor");
+    println!(
+        "\nwork {:.3} s, span {:.3} s → inherent parallelism ceiling {:.1}x",
+        state.work_ns as f64 / 1e9,
+        state.span_ns as f64 / 1e9,
+        state.parallelism()
+    );
+}

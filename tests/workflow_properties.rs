@@ -1,0 +1,91 @@
+//! Property tests over the whole workflow on *arbitrary* small corpora
+//! (raw generated documents, not just the calibrated synthetic sets):
+//! strategy equivalence, dictionary-kind equivalence, and model sanity.
+
+use hpa::corpus::{Corpus, Document};
+use hpa::dict::DictKind;
+use hpa::prelude::*;
+use proptest::prelude::*;
+
+fn arb_corpus() -> impl Strategy<Value = Corpus> {
+    prop::collection::vec("[a-d ]{0,60}", 1..12).prop_map(|texts| {
+        let docs = texts
+            .into_iter()
+            .enumerate()
+            .map(|(i, text)| Document {
+                id: i as u32,
+                name: format!("d{i}"),
+                text,
+            })
+            .collect();
+        Corpus::from_documents("prop", docs)
+    })
+}
+
+fn run(corpus: &Corpus, kind: DictKind, fused: bool) -> hpa::workflow::WorkflowOutcome {
+    let builder = WorkflowBuilder::new()
+        .tfidf(TfIdfConfig {
+            dict_kind: kind,
+            grain: 0,
+            charge_input_io: false,
+            ..Default::default()
+        })
+        .kmeans(KMeansConfig {
+            k: 3,
+            max_iters: 6,
+            seed: 2,
+            grain: 4,
+            ..Default::default()
+        });
+    let wf = if fused {
+        builder.fused()
+    } else {
+        builder.discrete()
+    };
+    wf.run(corpus, &Exec::sequential()).expect("workflow runs")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn discrete_equals_fused_on_arbitrary_corpora(corpus in arb_corpus()) {
+        let fused = run(&corpus, DictKind::BTree, true);
+        let discrete = run(&corpus, DictKind::BTree, false);
+        prop_assert_eq!(&fused.assignments, &discrete.assignments);
+        prop_assert_eq!(fused.dim, discrete.dim);
+    }
+
+    #[test]
+    fn dict_kinds_agree_on_arbitrary_corpora(corpus in arb_corpus()) {
+        let tree = run(&corpus, DictKind::BTree, true);
+        let hash = run(&corpus, DictKind::Hash, true);
+        prop_assert_eq!(&tree.assignments, &hash.assignments);
+        prop_assert_eq!(tree.dim, hash.dim);
+    }
+
+    #[test]
+    fn outcome_shape_is_consistent(corpus in arb_corpus()) {
+        let out = run(&corpus, DictKind::BTree, true);
+        prop_assert_eq!(out.assignments.len(), corpus.len());
+        prop_assert!(out.inertia.is_finite() || corpus.is_empty());
+        prop_assert!(out.inertia >= -1e-12 || out.assignments.is_empty());
+        // Every document's TF/IDF terms come from the corpus, so dim is
+        // bounded by the total distinct words.
+        let stats = corpus.stats();
+        prop_assert!(out.dim <= stats.distinct_words);
+    }
+
+    #[test]
+    fn empty_text_documents_are_handled(n in 1usize..6) {
+        // Documents with no tokens at all produce zero vectors, which
+        // must cluster without panicking.
+        let docs = (0..n)
+            .map(|i| Document { id: i as u32, name: format!("e{i}"), text: "...!!!".into() })
+            .collect();
+        let corpus = Corpus::from_documents("empty", docs);
+        let out = run(&corpus, DictKind::BTree, true);
+        prop_assert_eq!(out.assignments.len(), n);
+        prop_assert_eq!(out.dim, 0);
+    }
+}
