@@ -169,7 +169,15 @@ mod tests {
 
     #[test]
     fn quote_round_trip() {
-        for name in ["plain", "has space", "com,ma", "qu'ote", "", "per%cent", "a{b}"] {
+        for name in [
+            "plain",
+            "has space",
+            "com,ma",
+            "qu'ote",
+            "",
+            "per%cent",
+            "a{b}",
+        ] {
             let quoted = quote_name(name);
             assert_eq!(unquote_name(&quoted), name, "through {quoted}");
         }

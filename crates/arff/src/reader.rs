@@ -41,9 +41,7 @@ impl<R: BufRead> ArffReader<R> {
             if let Some(rest) = keyword(line, &upper, "@RELATION") {
                 header.relation = unquote_name(rest);
             } else if let Some(rest) = keyword(line, &upper, "@ATTRIBUTE") {
-                header
-                    .attributes
-                    .push(parse_attribute(rest, line_no)?);
+                header.attributes.push(parse_attribute(rest, line_no)?);
             } else if upper.starts_with("@DATA") {
                 break;
             } else {
@@ -201,8 +199,8 @@ fn parse_attribute(rest: &str, line_no: usize) -> Result<Attribute, ArffError> {
     // Name may be quoted (and contain spaces and escaped quotes) or a
     // bare token.
     let (name, type_part) = if rest.starts_with('\'') {
-        let close = closing_quote(rest)
-            .ok_or_else(|| err("unterminated quoted attribute name".into()))?;
+        let close =
+            closing_quote(rest).ok_or_else(|| err("unterminated quoted attribute name".into()))?;
         (unquote_name(&rest[..=close]), rest[close + 1..].trim())
     } else {
         let (n, t) = rest
@@ -211,7 +209,10 @@ fn parse_attribute(rest: &str, line_no: usize) -> Result<Attribute, ArffError> {
         (n.to_string(), t.trim())
     };
     let upper = type_part.to_ascii_uppercase();
-    let kind = if upper.starts_with("NUMERIC") || upper.starts_with("REAL") || upper.starts_with("INTEGER") {
+    let kind = if upper.starts_with("NUMERIC")
+        || upper.starts_with("REAL")
+        || upper.starts_with("INTEGER")
+    {
         AttrKind::Numeric
     } else if upper.starts_with("STRING") {
         AttrKind::String
@@ -220,12 +221,7 @@ fn parse_attribute(rest: &str, line_no: usize) -> Result<Attribute, ArffError> {
             .trim_start_matches('{')
             .trim_end_matches('}')
             .trim();
-        AttrKind::Nominal(
-            inner
-                .split(',')
-                .map(|v| unquote_name(v.trim()))
-                .collect(),
-        )
+        AttrKind::Nominal(inner.split(',').map(|v| unquote_name(v.trim())).collect())
     } else {
         return Err(err(format!("unknown attribute type '{type_part}'")));
     };
@@ -300,7 +296,9 @@ mod tests {
 
     #[test]
     fn missing_data_section_is_an_error() {
-        let e = ArffReader::new(Cursor::new(b"@RELATION r\n" as &[u8])).err().expect("must fail");
+        let e = ArffReader::new(Cursor::new(b"@RELATION r\n" as &[u8]))
+            .err()
+            .expect("must fail");
         assert!(e.to_string().contains("before @DATA"), "{e}");
     }
 
@@ -312,7 +310,9 @@ mod tests {
 
     #[test]
     fn garbage_header_line_is_an_error() {
-        let e = ArffReader::new(Cursor::new(b"hello\n@DATA\n" as &[u8])).err().expect("must fail");
+        let e = ArffReader::new(Cursor::new(b"hello\n@DATA\n" as &[u8]))
+            .err()
+            .expect("must fail");
         assert!(e.to_string().contains("unexpected header line"), "{e}");
     }
 }

@@ -1,5 +1,9 @@
 //! Robustness: the ARFF parser must never panic — arbitrary input either
 //! parses or returns a structured error with a line number.
+//!
+//! Gated behind the non-default `proptest` feature because the `proptest`
+//! crate is unavailable in offline builds (see workspace Cargo.toml).
+#![cfg(feature = "proptest")]
 
 use hpa_arff::ArffReader;
 use proptest::prelude::*;

@@ -1,5 +1,9 @@
 //! Property test: writer → reader round trip is the identity on sparse
 //! matrices, for arbitrary dimensions, attribute names, and row contents.
+//!
+//! Gated behind the non-default `proptest` feature because the `proptest`
+//! crate is unavailable in offline builds (see workspace Cargo.toml).
+#![cfg(feature = "proptest")]
 
 use hpa_arff::{ArffHeader, ArffReader, ArffWriter};
 use hpa_sparse::SparseVec;

@@ -19,7 +19,11 @@ fn bench_tfidf_fit(c: &mut Criterion) {
     let mut g = c.benchmark_group("tfidf_fit");
     g.sample_size(20);
     g.throughput(Throughput::Bytes(corpus.total_bytes()));
-    for kind in [DictKind::BTree, DictKind::Hash, DictKind::HashPresized(4096)] {
+    for kind in [
+        DictKind::BTree,
+        DictKind::Hash,
+        DictKind::HashPresized(4096),
+    ] {
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("{kind:?}")),
             &kind,

@@ -42,7 +42,11 @@ fn bench_dictionaries(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("dictionary_wordcount");
     g.throughput(Throughput::Elements(words.len() as u64));
-    for kind in [DictKind::BTree, DictKind::Hash, DictKind::HashPresized(4096)] {
+    for kind in [
+        DictKind::BTree,
+        DictKind::Hash,
+        DictKind::HashPresized(4096),
+    ] {
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("{kind:?}")),
             &kind,

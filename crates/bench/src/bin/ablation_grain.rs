@@ -24,7 +24,12 @@ fn main() {
 
     let mut table = Table::new(
         "input+wc at 16 cores",
-        &["grain (docs/chunk)", "chunks", "virtual time (s)", "work/span parallelism"],
+        &[
+            "grain (docs/chunk)",
+            "chunks",
+            "virtual time (s)",
+            "work/span parallelism",
+        ],
     );
     let mut grains: Vec<usize> = vec![1, 4, 16, 64, 256];
     grains.push(n.div_ceil(16)); // one chunk per core

@@ -25,14 +25,23 @@ fn main() {
     let variants: Vec<(String, DictKind)> = vec![
         ("u-map (no presize)".into(), DictKind::Hash),
         ("u-map presize 512".into(), DictKind::HashPresized(512)),
-        ("u-map presize 4096 (paper)".into(), DictKind::HashPresized(4096)),
+        (
+            "u-map presize 4096 (paper)".into(),
+            DictKind::HashPresized(4096),
+        ),
         ("u-map presize 16384".into(), DictKind::HashPresized(16384)),
         ("map".into(), DictKind::BTree),
     ];
 
     let mut table = Table::new(
         "input+wc phase",
-        &["dictionary", "1-core (s)", "16-core (s)", "modelled resident", "Rust heap"],
+        &[
+            "dictionary",
+            "1-core (s)",
+            "16-core (s)",
+            "modelled resident",
+            "Rust heap",
+        ],
     );
     for (label, kind) in variants {
         let op = TfIdf::new(TfIdfConfig {

@@ -42,7 +42,11 @@ fn main() {
         tok.for_each(&text, |_| tokens += 1);
     }
     let base = sw.elapsed().as_secs_f64();
-    table.row(&["synchronous".into(), format!("{base:.3}"), tokens.to_string()]);
+    table.row(&[
+        "synchronous".into(),
+        format!("{base:.3}"),
+        tokens.to_string(),
+    ]);
     eprintln!("synchronous: {base:.3}s");
 
     for depth in [1usize, 4, 16, 64] {

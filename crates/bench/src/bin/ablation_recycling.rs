@@ -38,7 +38,13 @@ fn main() {
 
     let mut table = Table::new(
         "K-means, sequential",
-        &["recycling", "seconds", "iterations", "allocs/iter", "bytes allocated/iter"],
+        &[
+            "recycling",
+            "seconds",
+            "iterations",
+            "allocs/iter",
+            "bytes allocated/iter",
+        ],
     );
     for recycle in [true, false] {
         let km = KMeans::new(KMeansConfig {

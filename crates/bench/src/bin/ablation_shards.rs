@@ -12,9 +12,9 @@
 use hpa_bench::BenchConfig;
 use hpa_corpus::Tokenizer;
 use hpa_dict::{sharded::ShardedDict, AnyDict, DictKind, Dictionary};
+use hpa_exec::sync::Mutex;
 use hpa_exec::Exec;
 use hpa_metrics::{ExperimentReport, Stopwatch, Table};
-use parking_lot::Mutex;
 
 fn main() {
     let cfg = BenchConfig::from_env();
@@ -104,7 +104,10 @@ fn main() {
                 format!("{parallel:.4}"),
                 distinct.to_string(),
             ]);
-            eprintln!("{} x{shards}: {parallel:.4}s (serial {serial:.4}s)", kind.label());
+            eprintln!(
+                "{} x{shards}: {parallel:.4}s (serial {serial:.4}s)",
+                kind.label()
+            );
         }
     }
     report.add_table(table);

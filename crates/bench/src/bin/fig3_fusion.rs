@@ -13,6 +13,11 @@ use hpa_kmeans::KMeansConfig;
 use hpa_metrics::{ExperimentReport, Table};
 use hpa_tfidf::TfIdfConfig;
 
+// Heap accounting so `--trace` runs get a live mem/heap-bytes counter
+// track (relaxed-atomic counters; negligible overhead when untraced).
+#[global_allocator]
+static ALLOC: hpa_metrics::alloc::CountingAllocator = hpa_metrics::alloc::CountingAllocator;
+
 fn main() {
     let cfg = BenchConfig::from_env();
     let mut report = ExperimentReport::new(
@@ -23,13 +28,18 @@ fn main() {
     );
 
     let corpus = cfg.nsf();
+    cfg.trace_input_staging(&corpus);
     let threads: Vec<usize> = cfg
         .threads
         .iter()
         .copied()
         .filter(|t| [1, 4, 8, 12, 16].contains(t))
         .collect();
-    let threads = if threads.is_empty() { cfg.threads.clone() } else { threads };
+    let threads = if threads.is_empty() {
+        cfg.threads.clone()
+    } else {
+        threads
+    };
 
     let builder = || {
         WorkflowBuilder::new()
@@ -76,11 +86,7 @@ fn main() {
             let out = wf.run(&corpus, &exec).expect("workflow runs");
             let mut row = vec![t.to_string(), variant.to_string()];
             for p in phases {
-                let secs = out
-                    .phases
-                    .get(p)
-                    .map(|d| d.as_secs_f64())
-                    .unwrap_or(0.0);
+                let secs = out.phases.get(p).map(|d| d.as_secs_f64()).unwrap_or(0.0);
                 row.push(format!("{secs:.3}"));
             }
             let total = out.phases.total().as_secs_f64();

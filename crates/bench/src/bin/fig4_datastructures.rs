@@ -30,12 +30,13 @@ fn main() {
         .copied()
         .filter(|t| [1, 4, 8, 12, 16].contains(t))
         .collect();
-    let threads = if threads.is_empty() { cfg.threads.clone() } else { threads };
+    let threads = if threads.is_empty() {
+        cfg.threads.clone()
+    } else {
+        threads
+    };
 
-    let kinds = [
-        ("u-map", DictKind::PAPER_PRESIZE),
-        ("map", DictKind::BTree),
-    ];
+    let kinds = [("u-map", DictKind::PAPER_PRESIZE), ("map", DictKind::BTree)];
 
     let phases = ["input+wc", "transform", "kmeans", "output"];
     let mut headers = vec!["threads", "dict"];
@@ -93,7 +94,12 @@ fn main() {
     // u-map at 16 threads) and the total-time ratio (the 3.4x headline).
     let mut derived = Table::new(
         "Derived: transform scalability and map-vs-u-map total ratio",
-        &["threads", "u-map transform spdup", "map transform spdup", "u-map/map total"],
+        &[
+            "threads",
+            "u-map transform spdup",
+            "map transform spdup",
+            "u-map/map total",
+        ],
     );
     let (_, umap_totals, umap_tr) = &curves[0];
     let (_, map_totals, map_tr) = &curves[1];

@@ -82,6 +82,8 @@ fn main() {
         eprintln!("{name}: profiled 4 phases");
     }
     report.note("parallelism = work/span: the speedup ceiling regardless of core count");
-    report.note("tfidf-output parallelism ~1 is the structural reason fusing workflows matters (Figure 3)");
+    report.note(
+        "tfidf-output parallelism ~1 is the structural reason fusing workflows matters (Figure 3)",
+    );
     cfg.emit(&report);
 }

@@ -23,16 +23,32 @@ fn main() {
         .unwrap_or_else(|| PathBuf::from("results"));
 
     let mut made = 0;
-    made += plot_speedup(&dir, "figure1_2.csv", "figure1.svg",
-        "Figure 1: Self-relative scalability of the K-Means operator");
+    made += plot_speedup(
+        &dir,
+        "figure1_2.csv",
+        "figure1.svg",
+        "Figure 1: Self-relative scalability of the K-Means operator",
+    );
     // figure1's speedup table is its 3rd table (index 2); figure2's is
     // also its 3rd. Fall back to index 0 layouts for robustness.
-    made += plot_speedup(&dir, "figure2_2.csv", "figure2.svg",
-        "Figure 2: Self-relative scalability of the TF/IDF operator");
-    made += plot_phases(&dir, "figure3_0.csv", "figure3.svg",
-        "Figure 3: discrete vs merged workflow (NSF Abstracts)");
-    made += plot_phases(&dir, "figure4_0.csv", "figure4.svg",
-        "Figure 4: map vs u-map dictionaries (Mix)");
+    made += plot_speedup(
+        &dir,
+        "figure2_2.csv",
+        "figure2.svg",
+        "Figure 2: Self-relative scalability of the TF/IDF operator",
+    );
+    made += plot_phases(
+        &dir,
+        "figure3_0.csv",
+        "figure3.svg",
+        "Figure 3: discrete vs merged workflow (NSF Abstracts)",
+    );
+    made += plot_phases(
+        &dir,
+        "figure4_0.csv",
+        "figure4.svg",
+        "Figure 4: map vs u-map dictionaries (Mix)",
+    );
     if made == 0 {
         eprintln!(
             "no plottable CSVs found in {} — run the figure binaries first",

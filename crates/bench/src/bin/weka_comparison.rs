@@ -32,7 +32,13 @@ fn main() {
 
     let mut table = Table::new(
         "K-means execution time, sequential (K=8)",
-        &["input", "optimized (s)", "baseline SimpleKMeans", "paper optimized", "paper WEKA"],
+        &[
+            "input",
+            "optimized (s)",
+            "baseline SimpleKMeans",
+            "paper optimized",
+            "paper WEKA",
+        ],
     );
 
     for (name, corpus, paper_fast) in [

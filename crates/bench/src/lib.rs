@@ -22,6 +22,13 @@
 //! `--scale 0.125` (default) generates corpora at 1/8 of the paper's
 //! document counts (vocabulary scales by Heaps' law); `--scale full`
 //! uses the exact Table 1 sizes. Reports always state the scale.
+//!
+//! ## Tracing
+//!
+//! `--trace [path]` (or `HPA_TRACE=path`) enables `hpa-trace` span
+//! recording for the whole run and writes a Chrome-trace JSON (loadable
+//! in Perfetto / `chrome://tracing`) plus a text summary at exit. The
+//! default path is `<out-dir>/trace.json`.
 
 use hpa_corpus::{Corpus, CorpusSpec};
 use hpa_exec::{CostMode, Exec, MachineModel};
@@ -78,6 +85,8 @@ pub struct BenchConfig {
     pub out_dir: PathBuf,
     /// Corpus generation seed.
     pub seed: u64,
+    /// Chrome-trace output path (`--trace [path]` / `HPA_TRACE`), if any.
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for BenchConfig {
@@ -88,6 +97,7 @@ impl Default for BenchConfig {
             threads: vec![1, 2, 4, 8, 12, 16, 20],
             out_dir: PathBuf::from("results"),
             seed: 20160315, // the workshop date
+            trace: None,
         }
     }
 }
@@ -103,13 +113,23 @@ impl BenchConfig {
         if let Ok(m) = std::env::var("HPA_MODE") {
             cfg.mode = parse_mode(&m).unwrap_or(cfg.mode);
         }
+        if let Ok(p) = std::env::var("HPA_TRACE") {
+            if !p.is_empty() {
+                cfg.trace = Some(PathBuf::from(p));
+            }
+        }
         let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut trace_default_path = false;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--scale" if i + 1 < args.len() => {
                     cfg.scale = parse_scale(&args[i + 1]).unwrap_or_else(|| {
-                        eprintln!("warning: bad --scale '{}', keeping {}", args[i + 1], cfg.scale);
+                        eprintln!(
+                            "warning: bad --scale '{}', keeping {}",
+                            args[i + 1],
+                            cfg.scale
+                        );
                         cfg.scale
                     });
                     i += 1;
@@ -136,6 +156,18 @@ impl BenchConfig {
                     cfg.seed = args[i + 1].parse().unwrap_or(cfg.seed);
                     i += 1;
                 }
+                "--trace" => {
+                    // Optional path operand; defaults to trace.json next
+                    // to the CSVs (resolved after all flags, so a later
+                    // `--out` still applies).
+                    if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                        cfg.trace = Some(PathBuf::from(&args[i + 1]));
+                        trace_default_path = false;
+                        i += 1;
+                    } else {
+                        trace_default_path = true;
+                    }
+                }
                 other => {
                     eprintln!("warning: ignoring unknown argument '{other}'");
                 }
@@ -144,6 +176,12 @@ impl BenchConfig {
         }
         if cfg.threads.is_empty() {
             cfg.threads = vec![1];
+        }
+        if trace_default_path {
+            cfg.trace = Some(cfg.out_dir.join("trace.json"));
+        }
+        if let Some(path) = &cfg.trace {
+            hpa_trace::enable_with_path(path.clone());
         }
         cfg
     }
@@ -169,7 +207,44 @@ impl BenchConfig {
             .generate(self.seed)
     }
 
+    /// When tracing, stage `corpus` once through the real on-disk
+    /// read-ahead input path, so the trace gets the `readahead` tracks
+    /// (per-file read spans, queue-depth and bytes-read counters) even
+    /// for benches whose measured phases consume an in-memory corpus.
+    /// No-op when tracing is off; never affects the benchmark numbers.
+    pub fn trace_input_staging(&self, corpus: &Corpus) {
+        if !hpa_trace::is_enabled() {
+            return;
+        }
+        let stage = || -> std::io::Result<u64> {
+            let dir = std::env::temp_dir().join(format!(
+                "hpa_trace_stage_{}_{}",
+                std::process::id(),
+                corpus.name.replace(' ', "_")
+            ));
+            hpa_corpus::disk::write_corpus(corpus, &dir)?;
+            let paths = hpa_corpus::disk::list_documents(&dir)?;
+            let _span = hpa_trace::span!("readahead", "stage-corpus", paths.len() as u64);
+            let mut bytes = 0u64;
+            for (path, text) in hpa_io::ReadAhead::new(paths, 8) {
+                match text {
+                    Ok(t) => bytes += t.len() as u64,
+                    Err(e) => {
+                        eprintln!("warning: staging read of {} failed: {e}", path.display())
+                    }
+                }
+            }
+            std::fs::remove_dir_all(&dir).ok();
+            Ok(bytes)
+        };
+        if let Err(e) = stage() {
+            eprintln!("warning: traced input staging failed: {e}");
+        }
+    }
+
     /// Print the report and write its CSVs to the output directory.
+    /// When tracing is on (`--trace` / `HPA_TRACE`), also flushes the
+    /// Chrome-trace JSON and prints the span summary.
     pub fn emit(&self, report: &ExperimentReport) {
         print!("{report}");
         match report.write_csvs(&self.out_dir) {
@@ -179,6 +254,18 @@ impl BenchConfig {
                 }
             }
             Err(e) => eprintln!("warning: could not write CSVs: {e}"),
+        }
+        if let Some((path, result)) = hpa_trace::finish() {
+            match result {
+                Ok(recording) => {
+                    print!("{}", recording.summary(10));
+                    println!(
+                        "wrote {} (load in https://ui.perfetto.dev or chrome://tracing)",
+                        path.display()
+                    );
+                }
+                Err(e) => eprintln!("warning: could not write trace: {e}"),
+            }
         }
     }
 }

@@ -36,6 +36,16 @@ use hpa_metrics::{PhaseReport, PhaseTimer};
 use hpa_tfidf::TfIdfConfig;
 use std::path::PathBuf;
 
+/// Sample the live-heap counter into the trace (no-op when tracing is off
+/// or the counting allocator is not installed). Called at phase
+/// boundaries so the trace shows a heap-usage track alongside the spans.
+fn sample_heap() {
+    if hpa_trace::is_enabled() {
+        let snap = hpa_metrics::alloc::HeapSnapshot::now();
+        hpa_trace::counter("mem", "heap-bytes", snap.current as u64);
+    }
+}
+
 /// Workflow composition strategy (the independent variable of Figure 3).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum Strategy {
@@ -169,6 +179,8 @@ pub struct Workflow {
 impl Workflow {
     /// Run the workflow on `corpus` under `exec`.
     pub fn run(&self, corpus: &Corpus, exec: &Exec) -> Result<WorkflowOutcome, WorkflowError> {
+        let _wf_span = hpa_trace::span!("workflow", "run", corpus.len() as u64);
+        sample_heap();
         let mut timer = PhaseTimer::new();
         let mut ctx = OperatorCtx {
             exec,
@@ -205,24 +217,32 @@ impl Workflow {
                 std::fs::create_dir_all(&dir)?;
                 let path = dir.join("tfidf.arff");
 
+                let span = hpa_trace::span!("phase", "tfidf-output");
                 let t0 = ctx.exec.now();
                 let file = std::io::BufWriter::new(std::fs::File::create(&path)?);
                 hpa_tfidf::write_arff(ctx.exec, &model, file)?;
                 ctx.timer.record("tfidf-output", ctx.exec.now() - t0);
+                drop(span);
                 drop(model);
+                sample_heap();
 
+                let span = hpa_trace::span!("phase", "kmeans-input");
                 let t0 = ctx.exec.now();
                 let file = std::io::BufReader::new(std::fs::File::open(&path)?);
                 let (vectors, dim) = hpa_tfidf::read_arff(ctx.exec, file)?;
                 ctx.timer.record("kmeans-input", ctx.exec.now() - t0);
+                drop(span);
+                sample_heap();
                 std::fs::remove_file(&path).ok();
                 (vectors, dim)
             }
         };
 
         let model = kmeans_op.run(&mut ctx, (&vectors, dim))?;
+        sample_heap();
 
         // Final "output" phase: serialize the clustering (serial).
+        let output_span = hpa_trace::span!("phase", "output");
         let t0 = ctx.exec.now();
         let output = ctx.exec.serial_costed(|| {
             let mut out = Vec::with_capacity(model.assignments.len() * 12);
@@ -240,6 +260,8 @@ impl Workflow {
             (out, cost)
         });
         timer.record("output", exec.now() - t0);
+        drop(output_span);
+        sample_heap();
 
         Ok(WorkflowOutcome {
             assignments: model.assignments,

@@ -21,8 +21,11 @@ pub struct OperatorCtx<'a> {
 
 impl OperatorCtx<'_> {
     /// Run `body` and record its duration (on the executor's clock) under
-    /// `phase`.
-    pub fn timed<R>(&mut self, phase: &str, body: impl FnOnce(&Exec) -> R) -> R {
+    /// `phase`. Also emits a `phase/<name>` trace span when tracing is on;
+    /// the span covers wall-clock time, which under simulation can differ
+    /// from the virtual duration recorded in the timer.
+    pub fn timed<R>(&mut self, phase: &'static str, body: impl FnOnce(&Exec) -> R) -> R {
+        let _span = hpa_trace::span!("phase", phase);
         let t0 = self.exec.now();
         let r = body(self.exec);
         self.timer.record(phase, self.exec.now() - t0);
@@ -139,6 +142,9 @@ mod tests {
             exec.serial(TaskCost::cpu(5_000_000), || ());
         });
         let report = timer.finish();
-        assert_eq!(report.get("work"), Some(std::time::Duration::from_millis(5)));
+        assert_eq!(
+            report.get("work"),
+            Some(std::time::Duration::from_millis(5))
+        );
     }
 }

@@ -10,12 +10,12 @@
 use crate::{ops, OperatorCtx, WorkflowError};
 use hpa_corpus::{Corpus, Tokenizer};
 use hpa_dict::{DictKind, Dictionary as _};
+use hpa_exec::sync::Mutex;
 use hpa_exec::{Exec, TaskCost};
 use hpa_kmeans::KMeansConfig;
 use hpa_metrics::PhaseTimer;
 use hpa_sparse::{squared_distance_to_centroid, DenseVec, SparseVec};
 use hpa_tfidf::{TfIdfConfig, Vocab};
-use parking_lot::Mutex;
 use std::io::{BufRead, Write};
 
 /// A fitted TF/IDF → K-means pipeline, ready to classify new documents.
@@ -42,7 +42,11 @@ pub struct PersistError {
 
 impl std::fmt::Display for PersistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "pipeline load error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "pipeline load error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -61,10 +65,13 @@ impl TrainedPipeline {
     ) -> Result<(Self, Vec<u32>), WorkflowError> {
         use crate::operator::Operator as _;
         let mut timer = PhaseTimer::new();
-        let mut ctx = OperatorCtx { exec, timer: &mut timer };
+        let mut ctx = OperatorCtx {
+            exec,
+            timer: &mut timer,
+        };
         let model = ops::TfIdfOp::new(tfidf).run(&mut ctx, corpus)?;
-        let fitted = ops::KMeansOp::new(kmeans)
-            .run(&mut ctx, (&model.vectors, model.vocab.len()))?;
+        let fitted =
+            ops::KMeansOp::new(kmeans).run(&mut ctx, (&model.vectors, model.vocab.len()))?;
         Ok((
             TrainedPipeline {
                 dict_kind: model.vocab.kind(),
@@ -197,7 +204,9 @@ impl TrainedPipeline {
             let (word, df) = entry
                 .rsplit_once(' ')
                 .ok_or_else(|| err(l, format!("bad vocab entry '{entry}'")))?;
-            let df: u64 = df.parse().map_err(|_| err(l, format!("bad df in '{entry}'")))?;
+            let df: u64 = df
+                .parse()
+                .map_err(|_| err(l, format!("bad df in '{entry}'")))?;
             if let Some(prev) = &last_word {
                 if prev.as_str() >= word {
                     return Err(err(l, format!("vocabulary not sorted at '{word}'")));

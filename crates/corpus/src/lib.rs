@@ -31,9 +31,7 @@ pub mod zipf;
 pub use stats::CorpusStats;
 pub use tokenize::Tokenizer;
 
-use rand::distributions::Distribution;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hpa_rng::SplitMix64;
 use zipf::Zipf;
 
 /// One text document.
@@ -171,9 +169,10 @@ impl CorpusSpec {
         zipf: &Zipf,
         vocab: &words::Vocabulary,
     ) -> Document {
-        let mut rng = SmallRng::seed_from_u64(
-            seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
+        // One decorrelated stream per document (see `seed_from_parts`:
+        // deriving these with multiples of the SplitMix64 gamma would
+        // alias every document onto one shared state orbit).
+        let mut rng = SplitMix64::seed_from_parts(seed, id as u64);
         let len = self.sample_doc_len(&mut rng);
         let mut text = String::with_capacity(len * 8);
         let mut words_on_line = 0usize;
@@ -203,15 +202,10 @@ impl CorpusSpec {
         }
     }
 
-    fn sample_doc_len(&self, rng: &mut SmallRng) -> usize {
+    fn sample_doc_len(&self, rng: &mut SplitMix64) -> usize {
         // Log-normal with the configured mean: mu = ln(mean) - sigma^2/2.
         let mu = (self.mean_doc_words as f64).ln() - self.doc_len_sigma * self.doc_len_sigma / 2.0;
-        let normal = rand::distributions::Uniform::new(0.0f64, 1.0);
-        // Box-Muller from two uniforms (rand's Normal lives in rand_distr,
-        // which is not among the allowed crates).
-        let u1: f64 = normal.sample(rng).max(1e-12);
-        let u2: f64 = normal.sample(rng);
-        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let z = rng.gen_normal();
         let len = (mu + self.doc_len_sigma * z).exp();
         (len.round() as usize).clamp(8, self.mean_doc_words * 20)
     }
@@ -253,7 +247,10 @@ mod tests {
     fn scaled_reduces_docs_and_vocab() {
         let full = CorpusSpec::nsf_abstracts();
         let half = full.scaled(0.25);
-        assert_eq!(half.num_docs, (full.num_docs as f64 * 0.25).round() as usize);
+        assert_eq!(
+            half.num_docs,
+            (full.num_docs as f64 * 0.25).round() as usize
+        );
         assert_eq!(
             half.vocab_size,
             (full.vocab_size as f64 * 0.5).round() as usize
@@ -288,10 +285,7 @@ mod tests {
         // Table 1: Mix is 62.8 MB / 23432 docs = ~2.8 KB per document.
         let c = CorpusSpec::mix().scaled(0.01).generate(5);
         let per_doc = c.total_bytes() as f64 / c.len() as f64;
-        assert!(
-            (1_500.0..5_000.0).contains(&per_doc),
-            "bytes/doc {per_doc}"
-        );
+        assert!((1_500.0..5_000.0).contains(&per_doc), "bytes/doc {per_doc}");
     }
 
     #[test]

@@ -80,7 +80,10 @@ mod tests {
         assert_eq!(s.documents, 2);
         assert_eq!(s.total_words, 7);
         assert_eq!(s.distinct_words, 5); // the, cat, sat, dog, down
-        assert_eq!(s.bytes, ("the cat sat".len() + "the dog sat down".len()) as u64);
+        assert_eq!(
+            s.bytes,
+            ("the cat sat".len() + "the dog sat down".len()) as u64
+        );
         assert!((s.mean_doc_words() - 3.5).abs() < 1e-12);
     }
 

@@ -74,7 +74,10 @@ mod tests {
 
     #[test]
     fn splits_on_non_alphanumerics() {
-        assert_eq!(toks("the cat, sat.on--the mat!"), ["the", "cat", "sat", "on", "the", "mat"]);
+        assert_eq!(
+            toks("the cat, sat.on--the mat!"),
+            ["the", "cat", "sat", "on", "the", "mat"]
+        );
     }
 
     #[test]
@@ -84,7 +87,10 @@ mod tests {
 
     #[test]
     fn digits_are_word_characters() {
-        assert_eq!(toks("grant EP/L027402/1 from 2016"), ["grant", "ep", "l027402", "1", "from", "2016"]);
+        assert_eq!(
+            toks("grant EP/L027402/1 from 2016"),
+            ["grant", "ep", "l027402", "1", "from", "2016"]
+        );
     }
 
     #[test]

@@ -7,8 +7,7 @@
 //! embedding the rank itself in base-26 at the end of the word; a seeded
 //! prefix varies the look of the text across corpora.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hpa_rng::SplitMix64;
 
 /// A fixed vocabulary of `n` distinct words indexed by rank.
 #[derive(Debug, Clone)]
@@ -19,7 +18,7 @@ pub struct Vocabulary {
 impl Vocabulary {
     /// Generate `n` distinct words, deterministically from `seed`.
     pub fn new(n: usize, seed: u64) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let words = (0..n).map(|rank| make_word(rank, n, &mut rng)).collect();
         Vocabulary { words }
     }
@@ -45,7 +44,7 @@ impl Vocabulary {
     }
 }
 
-fn make_word(rank: usize, n: usize, rng: &mut SmallRng) -> Box<str> {
+fn make_word(rank: usize, n: usize, rng: &mut SplitMix64) -> Box<str> {
     // Unique suffix: rank in base-26.
     let mut suffix = [0u8; 8];
     let mut len = 0;
@@ -60,11 +59,11 @@ fn make_word(rank: usize, n: usize, rng: &mut SmallRng) -> Box<str> {
     }
     // Frequent words are short: target length grows with log of rank.
     let fraction = (rank + 1) as f64 / n as f64;
-    let base_len = 2.5 + 6.0 * fraction.sqrt() + rng.gen_range(0.0..2.0);
+    let base_len = 2.5 + 6.0 * fraction.sqrt() + rng.gen_range_f64(0.0, 2.0);
     let target = (base_len.round() as usize).clamp(2, 14);
     let mut word = String::with_capacity(target.max(len));
     while word.len() + len < target {
-        word.push(rng.gen_range(b'a'..=b'z') as char);
+        word.push((b'a' + rng.gen_index(26) as u8) as char);
     }
     for i in (0..len).rev() {
         word.push(suffix[i] as char);

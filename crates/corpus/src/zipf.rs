@@ -6,7 +6,7 @@
 //! distribution via inverse-CDF lookup on a precomputed cumulative table
 //! (O(log V) per sample, exact).
 
-use rand::Rng;
+use hpa_rng::SplitMix64;
 
 /// A Zipf(`n`, `s`) sampler over ranks `0..n` (rank 0 most frequent).
 #[derive(Debug, Clone)]
@@ -49,8 +49,8 @@ impl Zipf {
     }
 
     /// Sample a rank.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u: f64 = rng.gen_f64();
         // partition_point: first index with cdf[i] >= u.
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
@@ -59,8 +59,6 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn pmf_sums_to_one() {
@@ -88,7 +86,7 @@ mod tests {
     #[test]
     fn samples_are_in_range_and_skewed() {
         let z = Zipf::new(500, 1.0);
-        let mut rng = SmallRng::seed_from_u64(42);
+        let mut rng = SplitMix64::seed_from_u64(42);
         let mut head = 0usize;
         const N: usize = 20_000;
         for _ in 0..N {

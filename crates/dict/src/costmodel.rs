@@ -278,14 +278,18 @@ mod tests {
     #[test]
     fn presized_falls_back_to_plain_hash_beyond_capacity() {
         let k = DictKind::HashPresized(64);
-        assert_eq!(k.insert_cost(100).cpu_ns, DictKind::Hash.insert_cost(100).cpu_ns);
+        assert_eq!(
+            k.insert_cost(100).cpu_ns,
+            DictKind::Hash.insert_cost(100).cpu_ns
+        );
     }
 
     #[test]
     fn hash_traffic_dominates_tree_traffic() {
         let n = 185_000;
         assert!(
-            DictKind::Hash.lookup_cost(n).mem_bytes > 1.8 * DictKind::BTree.lookup_cost(n).mem_bytes
+            DictKind::Hash.lookup_cost(n).mem_bytes
+                > 1.8 * DictKind::BTree.lookup_cost(n).mem_bytes
         );
     }
 
@@ -294,7 +298,9 @@ mod tests {
         let presized = DictKind::HashPresized(4096);
         // 150 entries in a 4096-slot table: each yielded entry costs a
         // long scan; a well-filled table does not.
-        assert!(presized.iter_step_cost(150).cpu_ns > 2.0 * DictKind::Hash.iter_step_cost(150).cpu_ns);
+        assert!(
+            presized.iter_step_cost(150).cpu_ns > 2.0 * DictKind::Hash.iter_step_cost(150).cpu_ns
+        );
         assert!(presized.iter_step_cost(4000).cpu_ns < presized.iter_step_cost(150).cpu_ns);
     }
 
@@ -302,7 +308,8 @@ mod tests {
     fn sorted_iteration_penalizes_hash() {
         let n = 10_000;
         assert!(
-            DictKind::Hash.sorted_iter_cost(n).cpu_ns > 3.0 * DictKind::BTree.sorted_iter_cost(n).cpu_ns
+            DictKind::Hash.sorted_iter_cost(n).cpu_ns
+                > 3.0 * DictKind::BTree.sorted_iter_cost(n).cpu_ns
         );
     }
 

@@ -109,7 +109,13 @@ mod tests {
         );
         // And the absolute class matches the paper's contrast: GBs vs
         // hundreds of MBs.
-        assert!(hash_total > 2 * 1024 * 1024 * 1024, "hash_total {hash_total}");
-        assert!(btree_total < 1024 * 1024 * 1024, "btree_total {btree_total}");
+        assert!(
+            hash_total > 2 * 1024 * 1024 * 1024,
+            "hash_total {hash_total}"
+        );
+        assert!(
+            btree_total < 1024 * 1024 * 1024,
+            "btree_total {btree_total}"
+        );
     }
 }

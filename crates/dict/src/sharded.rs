@@ -11,11 +11,30 @@
 
 use crate::{AnyDict, DictKind, Dictionary};
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Per-shard activity counters (relaxed atomics so `get` can count
+/// through a shared reference). Cloning snapshots the current values.
+#[derive(Debug, Default)]
+struct ShardStats {
+    inserts: AtomicU64,
+    lookups: AtomicU64,
+}
+
+impl Clone for ShardStats {
+    fn clone(&self) -> Self {
+        ShardStats {
+            inserts: AtomicU64::new(self.inserts.load(Relaxed)),
+            lookups: AtomicU64::new(self.lookups.load(Relaxed)),
+        }
+    }
+}
 
 /// A dictionary split into `S` independent shards by word hash.
 #[derive(Debug, Clone)]
 pub struct ShardedDict {
     shards: Vec<AnyDict>,
+    stats: Vec<ShardStats>,
 }
 
 fn shard_of(word: &str, shards: usize) -> usize {
@@ -35,7 +54,17 @@ impl ShardedDict {
         assert!(shards >= 1, "need at least one shard");
         ShardedDict {
             shards: (0..shards).map(|_| kind.new_dict()).collect(),
+            stats: (0..shards).map(|_| ShardStats::default()).collect(),
         }
+    }
+
+    /// Per-shard `(inserts, lookups)` counts accumulated so far. Inserts
+    /// count `add`/`insert` calls; lookups count `get` calls.
+    pub fn shard_stats(&self) -> Vec<(u64, u64)> {
+        self.stats
+            .iter()
+            .map(|s| (s.inserts.load(Relaxed), s.lookups.load(Relaxed)))
+            .collect()
     }
 
     /// Number of shards.
@@ -57,15 +86,40 @@ impl ShardedDict {
             other.shards.len(),
             "shard counts must match"
         );
+        let _span = hpa_trace::span!("dict", "merge", self.shards.len() as u64);
         for (a, b) in self.shards.iter_mut().zip(&other.shards) {
             a.merge_from(b);
         }
+        self.absorb_stats(other);
     }
 
     /// Merge shard `s` of `other` into shard `s` of `self` — the unit of
     /// parallel merging.
     pub fn merge_shard_from(&mut self, s: usize, other: &ShardedDict) {
+        let _span = hpa_trace::span!("dict", "merge-shard", s as u64);
         self.shards[s].merge_from(&other.shards[s]);
+        self.stats[s]
+            .inserts
+            .fetch_add(other.stats[s].inserts.load(Relaxed), Relaxed);
+        self.stats[s]
+            .lookups
+            .fetch_add(other.stats[s].lookups.load(Relaxed), Relaxed);
+    }
+
+    fn absorb_stats(&mut self, other: &ShardedDict) {
+        for (mine, theirs) in self.stats.iter().zip(&other.stats) {
+            mine.inserts
+                .fetch_add(theirs.inserts.load(Relaxed), Relaxed);
+            mine.lookups
+                .fetch_add(theirs.lookups.load(Relaxed), Relaxed);
+        }
+        if hpa_trace::is_enabled() {
+            let (ins, looks) = self.stats.iter().fold((0u64, 0u64), |(i, l), s| {
+                (i + s.inserts.load(Relaxed), l + s.lookups.load(Relaxed))
+            });
+            hpa_trace::counter("dict", "inserts", ins);
+            hpa_trace::counter("dict", "lookups", looks);
+        }
     }
 
     /// Split into the underlying shards (for scatter/gather schemes).
@@ -77,16 +131,20 @@ impl ShardedDict {
 impl Dictionary for ShardedDict {
     fn add(&mut self, word: &str, delta: u64) -> u64 {
         let s = shard_of(word, self.shards.len());
+        self.stats[s].inserts.fetch_add(1, Relaxed);
         self.shards[s].add(word, delta)
     }
 
     fn insert(&mut self, word: &str, value: u64) {
         let s = shard_of(word, self.shards.len());
+        self.stats[s].inserts.fetch_add(1, Relaxed);
         self.shards[s].insert(word, value);
     }
 
     fn get(&self, word: &str) -> Option<u64> {
-        self.shards[shard_of(word, self.shards.len())].get(word)
+        let s = shard_of(word, self.shards.len());
+        self.stats[s].lookups.fetch_add(1, Relaxed);
+        self.shards[s].get(word)
     }
 
     fn len(&self) -> usize {
@@ -214,6 +272,29 @@ mod tests {
         let mut a = ShardedDict::new(DictKind::BTree, 2);
         let b = ShardedDict::new(DictKind::BTree, 3);
         a.merge_from(&b);
+    }
+
+    #[test]
+    fn shard_stats_count_inserts_and_lookups() {
+        let mut d = ShardedDict::new(DictKind::Hash, 4);
+        d.add("a", 1);
+        d.add("b", 1);
+        d.insert("c", 9);
+        d.get("a");
+        d.get("missing");
+        let stats = d.shard_stats();
+        assert_eq!(stats.len(), 4);
+        let inserts: u64 = stats.iter().map(|(i, _)| i).sum();
+        let lookups: u64 = stats.iter().map(|(_, l)| l).sum();
+        assert_eq!(inserts, 3);
+        assert_eq!(lookups, 2);
+
+        // Merging absorbs the other side's counts.
+        let mut other = ShardedDict::new(DictKind::Hash, 4);
+        other.add("d", 1);
+        d.merge_from(&other);
+        let inserts: u64 = d.shard_stats().iter().map(|(i, _)| i).sum();
+        assert_eq!(inserts, 4);
     }
 
     #[test]

@@ -1,6 +1,10 @@
 //! Property test: both dictionary implementations behave exactly like a
 //! reference `BTreeMap<String, u64>` under an arbitrary operation
 //! sequence, and sorted iteration visits words in ascending order.
+//!
+//! Gated behind the non-default `proptest` feature because the `proptest`
+//! crate is unavailable in offline builds (see workspace Cargo.toml).
+#![cfg(feature = "proptest")]
 
 use hpa_dict::{AnyDict, DictKind, Dictionary};
 use proptest::prelude::*;

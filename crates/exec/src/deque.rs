@@ -1,0 +1,201 @@
+//! Work-stealing queues: a global [`Injector`] plus per-worker
+//! [`Worker`]/[`Stealer`] pairs.
+//!
+//! The API mirrors `crossbeam_deque` (which the workspace cannot depend
+//! on — offline builds), but the implementation is a `Mutex<VecDeque>`
+//! per queue. That is deliberately simple: the pool pushes *chunked*
+//! tasks (tens to hundreds per batch, each doing real work), so queue
+//! operations are far off the critical path and an uncontended mutex
+//! lock (~20 ns) is noise. The scheduling discipline is the one that
+//! matters and is preserved exactly: owners pop LIFO (cache-warm,
+//! depth-first), thieves steal FIFO (oldest, biggest-work-first).
+
+use crate::sync::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A global FIFO task queue all threads may push to and steal from.
+#[derive(Debug, Default)]
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// New empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Enqueue a task (FIFO order).
+    pub fn push(&self, task: T) {
+        self.queue.lock().push_back(task);
+    }
+
+    /// Dequeue the oldest task, if any.
+    pub fn steal(&self) -> Option<T> {
+        self.queue.lock().pop_front()
+    }
+
+    /// Dequeue the oldest task and move up to half of the remaining queue
+    /// (capped) into `local`, amortising injector contention the way
+    /// `crossbeam`'s `steal_batch_and_pop` does.
+    pub fn steal_batch_and_pop(&self, local: &Worker<T>) -> Option<T> {
+        let mut q = self.queue.lock();
+        let first = q.pop_front()?;
+        let grab = (q.len() / 2).min(16);
+        if grab > 0 {
+            let mut l = local.shared.lock();
+            for _ in 0..grab {
+                match q.pop_front() {
+                    Some(t) => l.push_back(t),
+                    None => break,
+                }
+            }
+        }
+        Some(first)
+    }
+
+    /// Number of queued tasks (racy snapshot; for metrics only).
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// True when no tasks are queued (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().is_empty()
+    }
+}
+
+/// The owning end of one worker's deque: LIFO push/pop.
+#[derive(Debug)]
+pub struct Worker<T> {
+    shared: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// New empty worker deque (LIFO for the owner).
+    pub fn new_lifo() -> Self {
+        Worker {
+            shared: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Push a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        self.shared.lock().push_back(task);
+    }
+
+    /// Pop the most recently pushed task (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        self.shared.lock().pop_back()
+    }
+
+    /// A stealing handle onto this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// The thieving end of a worker's deque: FIFO steal.
+#[derive(Debug, Clone)]
+pub struct Stealer<T> {
+    shared: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    /// Steal the oldest task (FIFO — the opposite end from the owner).
+    pub fn steal(&self) -> Option<T> {
+        self.shared.lock().pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push(1);
+        inj.push(2);
+        inj.push(3);
+        assert_eq!(inj.len(), 3);
+        assert_eq!(inj.steal(), Some(1));
+        assert_eq!(inj.steal(), Some(2));
+        assert_eq!(inj.steal(), Some(3));
+        assert_eq!(inj.steal(), None);
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn owner_pops_lifo_thief_steals_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3), "owner takes newest");
+        assert_eq!(s.steal(), Some(1), "thief takes oldest");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), None);
+    }
+
+    #[test]
+    fn steal_batch_moves_tasks_to_local() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        let first = inj.steal_batch_and_pop(&w);
+        assert_eq!(first, Some(0));
+        // Half of the 9 remaining (4) moved into the local deque.
+        let mut local = Vec::new();
+        while let Some(t) = w.pop() {
+            local.push(t);
+        }
+        assert_eq!(local.len(), 4);
+        assert_eq!(inj.len(), 5);
+    }
+
+    #[test]
+    fn concurrent_producers_and_thieves_lose_nothing() {
+        let inj = Arc::new(Injector::new());
+        let n_per_producer = 1000;
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let inj = Arc::clone(&inj);
+                std::thread::spawn(move || {
+                    for i in 0..n_per_producer {
+                        inj.push(p * n_per_producer + i);
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let thieves: Vec<_> = (0..4)
+            .map(|_| {
+                let inj = Arc::clone(&inj);
+                let seen = Arc::clone(&seen);
+                std::thread::spawn(move || {
+                    while let Some(t) = inj.steal() {
+                        seen.lock().push(t);
+                    }
+                })
+            })
+            .collect();
+        for h in thieves {
+            h.join().unwrap();
+        }
+        let mut seen = Arc::try_unwrap(seen).ok().unwrap().into_inner();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..4 * n_per_producer).collect::<Vec<_>>());
+    }
+}

@@ -24,14 +24,16 @@
 //! [`CostMode::Analytic`] the simulation is fully machine-independent.
 
 pub mod cost;
+pub mod deque;
 pub mod pool;
 pub mod sim;
+pub mod sync;
 
 pub use cost::{CostMode, TaskCost};
-pub use pool::WorkStealingPool;
+pub use pool::{WorkStealingPool, WorkerStats};
 pub use sim::{schedule_region_bounds_hold, MachineModel, RegionSchedule, SimState};
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::ops::Range;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -300,7 +302,12 @@ impl Exec {
     /// pairs in parallel (an odd item passes through). Merge order is
     /// deterministic (left-to-right pairing), so floating-point results
     /// are reproducible across executors for a fixed number of partials.
-    pub fn par_tree_reduce<T, M>(&self, mut items: Vec<T>, merge: M, merge_cost: TaskCost) -> Option<T>
+    pub fn par_tree_reduce<T, M>(
+        &self,
+        mut items: Vec<T>,
+        merge: M,
+        merge_cost: TaskCost,
+    ) -> Option<T>
     where
         T: Send,
         M: Fn(T, T) -> T + Sync,
@@ -546,7 +553,11 @@ mod tests {
             assert_eq!(total, Some((1..=37u64).sum()), "{exec:?}");
         }
         assert_eq!(
-            Exec::sequential().par_tree_reduce(Vec::<u64>::new(), |a, b| a + b, TaskCost::default()),
+            Exec::sequential().par_tree_reduce(
+                Vec::<u64>::new(),
+                |a, b| a + b,
+                TaskCost::default()
+            ),
             None
         );
         assert_eq!(

@@ -2,7 +2,7 @@
 //!
 //! This is the reproduction's stand-in for the Cilkplus runtime the paper
 //! uses: a fixed set of workers, each with a work-stealing deque
-//! (`crossbeam_deque`), fed through a global injector. The pool executes
+//! ([`crate::deque`]), fed through a global injector. The pool executes
 //! *batches* of scope-bound tasks: the submitting thread erases the tasks'
 //! lifetimes, injects them, then **helps execute** pending tasks while it
 //! waits on a completion latch, so a batch can never deadlock and borrowed
@@ -14,13 +14,25 @@
 //! task running *on a worker* submits a nested batch, the batch runs inline
 //! sequentially on that worker. This keeps the pool deadlock-free without
 //! the full generality (and unsafety budget) of continuation stealing.
+//!
+//! ## Observability
+//!
+//! When `hpa_trace` is enabled, every executed task gets a `pool/task`
+//! span on its worker's track, batches get a `pool/batch` span on the
+//! submitter's track, parked intervals get `pool/park` spans, and each
+//! worker periodically emits cumulative counters (`tasks`, `local-pops`,
+//! `injector-pops`, `steals`) so steal imbalance is visible in Perfetto.
+//! All of it is behind `hpa_trace::is_enabled()` — one relaxed atomic
+//! load per call site when tracing is off. The same statistics are always
+//! available programmatically through [`WorkStealingPool::worker_stats`].
 
-use crossbeam::deque::{Injector, Stealer, Worker as Deque};
-use parking_lot::{Condvar, Mutex};
+use crate::deque::{Injector, Stealer, Worker as Deque};
+use crate::sync::{Condvar, Counter, Mutex};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 type Task = Box<dyn FnOnce() + Send>;
 
@@ -58,9 +70,43 @@ impl Latch {
     }
 }
 
+/// Where a worker found its task (for the steal/local statistics).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Source {
+    Local,
+    Injector,
+    Stolen,
+}
+
+/// Per-worker counters, updated by the worker, readable by anyone.
+#[derive(Default)]
+struct Stats {
+    tasks: Counter,
+    local_pops: Counter,
+    injector_pops: Counter,
+    steals: Counter,
+    park_ns: Counter,
+}
+
+/// A point-in-time snapshot of one worker's statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Tasks this worker executed.
+    pub tasks: u64,
+    /// Tasks popped from the worker's own deque.
+    pub local_pops: u64,
+    /// Tasks taken from the global injector.
+    pub injector_pops: u64,
+    /// Tasks stolen from sibling workers.
+    pub steals: u64,
+    /// Total nanoseconds spent parked (idle).
+    pub park_ns: u64,
+}
+
 struct Shared {
     injector: Injector<Task>,
     stealers: Vec<Stealer<Task>>,
+    stats: Vec<Stats>,
     shutdown: AtomicBool,
     /// Sleep/wake machinery for idle workers.
     idle_mutex: Mutex<()>,
@@ -69,31 +115,23 @@ struct Shared {
 
 impl Shared {
     /// Find a task: local deque first (when on a worker), then the global
-    /// injector, then steal from siblings.
-    fn find_task(&self, local: Option<&Deque<Task>>) -> Option<Task> {
+    /// injector, then steal from siblings. Reports where it came from.
+    fn find_task(&self, local: Option<&Deque<Task>>) -> Option<(Task, Source)> {
         if let Some(local) = local {
             if let Some(t) = local.pop() {
-                return Some(t);
+                return Some((t, Source::Local));
             }
         }
-        loop {
-            let steal = match local {
-                Some(l) => self.injector.steal_batch_and_pop(l),
-                None => self.injector.steal(),
-            };
-            match steal {
-                crossbeam::deque::Steal::Success(t) => return Some(t),
-                crossbeam::deque::Steal::Empty => break,
-                crossbeam::deque::Steal::Retry => continue,
-            }
+        let taken = match local {
+            Some(l) => self.injector.steal_batch_and_pop(l),
+            None => self.injector.steal(),
+        };
+        if let Some(t) = taken {
+            return Some((t, Source::Injector));
         }
         for s in &self.stealers {
-            loop {
-                match s.steal() {
-                    crossbeam::deque::Steal::Success(t) => return Some(t),
-                    crossbeam::deque::Steal::Empty => break,
-                    crossbeam::deque::Steal::Retry => continue,
-                }
+            if let Some(t) = s.steal() {
+                return Some((t, Source::Stolen));
             }
         }
         None
@@ -121,6 +159,7 @@ impl WorkStealingPool {
         let shared = Arc::new(Shared {
             injector: Injector::new(),
             stealers,
+            stats: (0..threads).map(|_| Stats::default()).collect(),
             shutdown: AtomicBool::new(false),
             idle_mutex: Mutex::new(()),
             idle_cv: Condvar::new(),
@@ -132,7 +171,7 @@ impl WorkStealingPool {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("hpa-worker-{i}"))
-                    .spawn(move || worker_loop(shared, deque))
+                    .spawn(move || worker_loop(shared, deque, i))
                     .expect("spawn pool worker")
             })
             .collect();
@@ -146,6 +185,21 @@ impl WorkStealingPool {
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Snapshot of every worker's execution statistics (index = worker).
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.shared
+            .stats
+            .iter()
+            .map(|s| WorkerStats {
+                tasks: s.tasks.get(),
+                local_pops: s.local_pops.get(),
+                injector_pops: s.injector_pops.get(),
+                steals: s.steals.get(),
+                park_ns: s.park_ns.get(),
+            })
+            .collect()
     }
 
     /// Execute a batch of tasks that may borrow from the caller's stack and
@@ -166,6 +220,7 @@ impl WorkStealingPool {
             return;
         }
 
+        let _batch_span = hpa_trace::span!("pool", "batch", tasks.len() as u64);
         let latch = Arc::new(Latch::new(tasks.len()));
         for task in tasks {
             // SAFETY: lifetime erasure. The closure (and everything it
@@ -187,7 +242,8 @@ impl WorkStealingPool {
         // Help while waiting: drain pending tasks (this batch's or another
         // concurrent submitter's — both are fine) instead of blocking.
         while !latch.done() {
-            if let Some(task) = self.shared.find_task(None) {
+            if let Some((task, _)) = self.shared.find_task(None) {
+                let _span = hpa_trace::span!("pool", "task");
                 task();
             } else {
                 let mut guard = self.shared.idle_mutex.lock();
@@ -211,25 +267,56 @@ unsafe fn erase_lifetime<'scope>(
     std::mem::transmute(task)
 }
 
-fn worker_loop(shared: Arc<Shared>, local: Deque<Task>) {
+fn worker_loop(shared: Arc<Shared>, local: Deque<Task>, index: usize) {
     IN_WORKER.with(|w| w.set(true));
+    let stats = &shared.stats[index];
+    // Last counter values emitted to the trace, to skip no-op samples.
+    let mut emitted_tasks = 0u64;
     loop {
-        if let Some(task) = shared.find_task(Some(&local)) {
-            task();
+        if let Some((task, source)) = shared.find_task(Some(&local)) {
+            match source {
+                Source::Local => stats.local_pops.add(1),
+                Source::Injector => stats.injector_pops.add(1),
+                Source::Stolen => stats.steals.add(1),
+            }
+            {
+                let mut span = hpa_trace::span!("pool", "task");
+                if source == Source::Stolen {
+                    span.set_arg(1); // mark stolen tasks in the trace
+                }
+                task();
+            }
+            stats.tasks.add(1);
             continue;
         }
         if shared.shutdown.load(Ordering::Acquire) {
             break;
         }
-        let mut guard = shared.idle_mutex.lock();
-        // Re-check under the lock so a wake between the failed find and
-        // this wait is not lost entirely (bounded by the timeout anyway).
-        if shared.shutdown.load(Ordering::Acquire) {
-            break;
+        // Going idle: publish counters once per idle transition, so the
+        // trace shows progress without a sample per task.
+        if hpa_trace::is_enabled() && stats.tasks.get() != emitted_tasks {
+            emitted_tasks = stats.tasks.get();
+            hpa_trace::counter("pool", "tasks", emitted_tasks);
+            hpa_trace::counter("pool", "local-pops", stats.local_pops.get());
+            hpa_trace::counter("pool", "injector-pops", stats.injector_pops.get());
+            hpa_trace::counter("pool", "steals", stats.steals.get());
         }
-        shared
-            .idle_cv
-            .wait_for(&mut guard, std::time::Duration::from_millis(5));
+        let parked = Instant::now();
+        {
+            let _park_span = hpa_trace::span!("pool", "park");
+            let mut guard = shared.idle_mutex.lock();
+            // Re-check under the lock so a wake between the failed find and
+            // this wait is not lost entirely (bounded by the timeout anyway).
+            if shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            shared
+                .idle_cv
+                .wait_for(&mut guard, std::time::Duration::from_millis(5));
+        }
+        stats
+            .park_ns
+            .add(parked.elapsed().as_nanos().min(u64::MAX as u128) as u64);
     }
 }
 
@@ -365,6 +452,33 @@ mod tests {
             pool.run_batch(tasks);
             drop(pool);
             assert_eq!(c.load(Ordering::Relaxed), 16);
+        }
+    }
+
+    #[test]
+    fn worker_stats_account_for_executed_tasks() {
+        let pool = WorkStealingPool::new(3);
+        let c = AtomicU64::new(0);
+        for _ in 0..5 {
+            let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..40)
+                .map(|_| {
+                    let c = &c;
+                    Box::new(move || {
+                        // A touch of work so workers actually interleave.
+                        std::thread::yield_now();
+                        c.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            pool.run_batch(tasks);
+        }
+        let stats = pool.worker_stats();
+        assert_eq!(stats.len(), 3);
+        let executed: u64 = stats.iter().map(|s| s.tasks).sum();
+        // The submitter helps, so workers execute at most the total.
+        assert!(executed <= 200);
+        for s in &stats {
+            assert_eq!(s.tasks, s.local_pops + s.injector_pops + s.steals);
         }
     }
 }

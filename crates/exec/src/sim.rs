@@ -314,7 +314,12 @@ mod tests {
         let t1: u64 = times.iter().sum();
         let tinf = *times.iter().max().unwrap();
         for cores in [1, 2, 3, 4, 8, 16] {
-            let s = schedule_region(&frictionless(), cores, &cpu_tasks(&times), &TaskCost::default());
+            let s = schedule_region(
+                &frictionless(),
+                cores,
+                &cpu_tasks(&times),
+                &TaskCost::default(),
+            );
             assert!(
                 s.elapsed_ns <= t1 / cores as u64 + tinf,
                 "Brent violated at P={cores}: {} > {}",
@@ -331,7 +336,12 @@ mod tests {
         let times: Vec<u64> = (0..40).map(|i| 100 + (i * 37) % 500).collect();
         let mut prev = u64::MAX;
         for cores in [1, 2, 4, 8, 16, 32] {
-            let s = schedule_region(&frictionless(), cores, &cpu_tasks(&times), &TaskCost::default());
+            let s = schedule_region(
+                &frictionless(),
+                cores,
+                &cpu_tasks(&times),
+                &TaskCost::default(),
+            );
             assert!(s.elapsed_ns <= prev, "P={cores} slower than fewer cores");
             prev = s.elapsed_ns;
         }
@@ -392,7 +402,7 @@ mod tests {
         };
         let cost = TaskCost {
             cpu_ns: 2_000_000,
-            mem_bytes: 1_000_000,  // 1 ms at 1 GB/s  (< cpu, so hidden)
+            mem_bytes: 1_000_000,      // 1 ms at 1 GB/s  (< cpu, so hidden)
             io_write_bytes: 1_000_000, // 10 ms
             io_ops: 2,
             ..Default::default()

@@ -1,5 +1,9 @@
 //! Property-based tests for the execution substrate: scheduling bounds
 //! that must hold for every workload, and executor equivalence.
+//!
+//! Gated behind the non-default `proptest` feature because the `proptest`
+//! crate is unavailable in offline builds (see workspace Cargo.toml).
+#![cfg(feature = "proptest")]
 
 use hpa_exec::{chunk_ranges, schedule_region_bounds_hold, CostMode, Exec, MachineModel, TaskCost};
 use proptest::prelude::*;
@@ -138,7 +142,11 @@ fn pool_handles_concurrent_submitters() {
         h.join().unwrap();
     }
     let expected: u64 = (0..4u64)
-        .map(|t| (0..20u64).map(|r| (0..16u64).map(|i| t * 1000 + r + i).sum::<u64>()).sum::<u64>())
+        .map(|t| {
+            (0..20u64)
+                .map(|r| (0..16u64).map(|i| t * 1000 + r + i).sum::<u64>())
+                .sum::<u64>()
+        })
         .sum();
     assert_eq!(total.load(Ordering::Relaxed), expected);
 }

@@ -15,14 +15,15 @@
 //!   operations, turning any serial output path (e.g. the ARFF writer)
 //!   into a [`TaskCost`] for the simulator.
 
+pub mod channel;
 pub mod counter;
 pub mod readahead;
 
 pub use counter::ByteCounter;
 pub use readahead::ReadAhead;
 
+use hpa_exec::sync::Mutex;
 use hpa_exec::{Exec, TaskCost};
-use parking_lot::Mutex;
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -93,11 +94,7 @@ where
 
 /// Load a corpus directory (written by `hpa_corpus::disk::write_corpus`)
 /// using a parallel read loop.
-pub fn load_corpus_parallel(
-    exec: &Exec,
-    name: &str,
-    dir: &Path,
-) -> io::Result<hpa_corpus::Corpus> {
+pub fn load_corpus_parallel(exec: &Exec, name: &str, dir: &Path) -> io::Result<hpa_corpus::Corpus> {
     let paths = hpa_corpus::disk::list_documents(dir)?;
     let slots: Vec<Mutex<Option<hpa_corpus::Document>>> =
         paths.iter().map(|_| Mutex::new(None)).collect();
@@ -189,12 +186,9 @@ mod tests {
     #[test]
     fn missing_file_surfaces_error() {
         let exec = Exec::sequential();
-        let err = for_each_file_parallel(
-            &exec,
-            &[PathBuf::from("/nonexistent/file.txt")],
-            |_, _| {},
-        )
-        .unwrap_err();
+        let err =
+            for_each_file_parallel(&exec, &[PathBuf::from("/nonexistent/file.txt")], |_, _| {})
+                .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::NotFound);
     }
 

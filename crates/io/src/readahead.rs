@@ -5,8 +5,16 @@
 //! while the consumer processes earlier ones. Order is preserved — the
 //! consumer sees files in the submitted order, which keeps downstream
 //! document ids deterministic.
+//!
+//! When `hpa_trace` is enabled the prefetcher is fully observable: each
+//! file read gets a `readahead/read` span (arg = bytes) on the producer
+//! track, each consumer wait gets a `readahead/stall` span (its duration
+//! is exactly the time the consumer was starved), and a
+//! `readahead/queue-depth` counter tracks how full the prefetch queue is
+//! — a saturated queue means the consumer is the bottleneck, an empty one
+//! means storage is.
 
-use crossbeam::channel::{bounded, Receiver};
+use crate::channel::{bounded, Receiver};
 use std::io;
 use std::path::PathBuf;
 use std::thread::JoinHandle;
@@ -14,7 +22,7 @@ use std::thread::JoinHandle;
 /// An iterator over `(path, contents)` pairs, prefetched by a background
 /// thread up to `depth` files ahead of the consumer.
 pub struct ReadAhead {
-    rx: Receiver<(PathBuf, io::Result<String>)>,
+    rx: Option<Receiver<(PathBuf, io::Result<String>)>>,
     producer: Option<JoinHandle<()>>,
 }
 
@@ -25,19 +33,34 @@ impl ReadAhead {
         let producer = std::thread::Builder::new()
             .name("hpa-readahead".to_string())
             .spawn(move || {
+                let mut total_bytes = 0u64;
                 for p in paths {
-                    let result = std::fs::read_to_string(&p);
+                    let result = {
+                        let mut span = hpa_trace::span!("readahead", "read");
+                        let result = std::fs::read_to_string(&p);
+                        if let Ok(text) = &result {
+                            total_bytes += text.len() as u64;
+                            span.set_arg(text.len() as u64);
+                        }
+                        result
+                    };
                     // Consumer dropped: stop reading.
                     if tx.send((p, result)).is_err() {
                         break;
                     }
+                    hpa_trace::counter("readahead", "bytes-read", total_bytes);
                 }
             })
             .expect("spawn read-ahead thread");
         ReadAhead {
-            rx,
+            rx: Some(rx),
             producer: Some(producer),
         }
+    }
+
+    /// Files currently sitting in the prefetch queue.
+    pub fn queued(&self) -> usize {
+        self.rx.as_ref().map_or(0, |rx| rx.len())
     }
 }
 
@@ -45,15 +68,27 @@ impl Iterator for ReadAhead {
     type Item = (PathBuf, io::Result<String>);
 
     fn next(&mut self) -> Option<Self::Item> {
-        self.rx.recv().ok()
+        let rx = self.rx.as_ref()?;
+        let item = if let Some(item) = rx.try_recv() {
+            Some(item)
+        } else {
+            // The queue is empty: the consumer is about to stall on the
+            // producer. The span's duration is the stall time.
+            let _stall = hpa_trace::span!("readahead", "stall");
+            rx.recv().ok()
+        };
+        if item.is_some() {
+            hpa_trace::counter("readahead", "queue-depth", rx.len() as u64);
+        }
+        item
     }
 }
 
 impl Drop for ReadAhead {
     fn drop(&mut self) {
-        // Unblock the producer by draining, then join it.
-        while self.rx.try_recv().is_ok() {}
-        drop(std::mem::replace(&mut self.rx, bounded(1).1));
+        // Dropping the receiver fails the producer's next send, which
+        // makes it exit; then join it.
+        self.rx = None;
         if let Some(h) = self.producer.take() {
             let _ = h.join();
         }
@@ -127,5 +162,6 @@ mod tests {
     fn empty_path_list_ends_immediately() {
         let mut ra = ReadAhead::new(Vec::new(), 3);
         assert!(ra.next().is_none());
+        assert_eq!(ra.queued(), 0);
     }
 }

@@ -234,8 +234,7 @@ mod tests {
     #[test]
     fn generous_budget_completes() {
         let (v, dim) = data();
-        let outcome =
-            SimpleKMeans::new(cfg()).fit_with_budget(&v, dim, Duration::from_secs(60));
+        let outcome = SimpleKMeans::new(cfg()).fit_with_budget(&v, dim, Duration::from_secs(60));
         assert!(!outcome.aborted);
         assert!(outcome.model.is_some());
     }

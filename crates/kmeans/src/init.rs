@@ -1,18 +1,17 @@
 //! Centroid seeding.
 
+use hpa_rng::SplitMix64;
 use hpa_sparse::{squared_distance_to_centroid, DenseVec, SparseVec};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Pick `k` distinct document indices uniformly at random (Floyd's
 /// algorithm for a distinct sample).
 pub fn random_points(vectors: &[SparseVec], k: usize, seed: u64) -> Vec<usize> {
     let n = vectors.len();
     assert!(k <= n, "cannot seed {k} clusters from {n} points");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut chosen: Vec<usize> = Vec::with_capacity(k);
     for j in (n - k)..n {
-        let t = rng.gen_range(0..=j);
+        let t = rng.gen_index(j + 1);
         if chosen.contains(&t) {
             chosen.push(j);
         } else {
@@ -29,9 +28,9 @@ pub fn random_points(vectors: &[SparseVec], k: usize, seed: u64) -> Vec<usize> {
 pub fn kmeans_plus_plus(vectors: &[SparseVec], k: usize, seed: u64) -> Vec<usize> {
     let n = vectors.len();
     assert!(k <= n, "cannot seed {k} clusters from {n} points");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut chosen = Vec::with_capacity(k);
-    let first = rng.gen_range(0..n);
+    let first = rng.gen_index(n);
     chosen.push(first);
 
     let dim = vectors
@@ -61,7 +60,7 @@ pub fn kmeans_plus_plus(vectors: &[SparseVec], k: usize, seed: u64) -> Vec<usize
             // unchosen index deterministically.
             (0..n).find(|i| !chosen.contains(i)).expect("k <= n")
         } else {
-            let mut target = rng.gen_range(0.0..total);
+            let mut target = rng.gen_range_f64(0.0, total);
             let mut pick = n - 1;
             for (i, &d) in dist.iter().enumerate() {
                 if target < d {

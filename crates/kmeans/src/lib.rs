@@ -25,9 +25,9 @@ pub mod baseline;
 pub mod cost;
 pub mod init;
 
+use hpa_exec::sync::Mutex;
 use hpa_exec::Exec;
 use hpa_sparse::{squared_distance_to_centroid, DenseVec, SparseVec};
-use parking_lot::Mutex;
 
 /// Cluster-initialization strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -172,23 +172,19 @@ impl KMeans {
             InitMethod::RandomPoints => init::random_points(vectors, k, cfg.seed),
             InitMethod::KMeansPlusPlus => init::kmeans_plus_plus(vectors, k, cfg.seed),
         };
-        let mut centroids: Vec<DenseVec> = exec.serial(
-            cost::init_cost(k, dim),
-            || {
-                seeds
-                    .iter()
-                    .map(|&i| {
-                        let mut c = DenseVec::zeros(dim);
-                        c.add_sparse(&vectors[i]);
-                        c
-                    })
-                    .collect()
-            },
-        );
+        let mut centroids: Vec<DenseVec> = exec.serial(cost::init_cost(k, dim), || {
+            seeds
+                .iter()
+                .map(|&i| {
+                    let mut c = DenseVec::zeros(dim);
+                    c.add_sparse(&vectors[i]);
+                    c
+                })
+                .collect()
+        });
 
         let mut assignments = vec![0u32; n];
-        let assignment_slots: Vec<Mutex<u32>> =
-            (0..n).map(|_| Mutex::new(0)).collect();
+        let assignment_slots: Vec<Mutex<u32>> = (0..n).map(|_| Mutex::new(0)).collect();
         let mut inertia = f64::INFINITY;
         let mut iterations = 0;
         let mut converged = false;
@@ -209,6 +205,7 @@ impl KMeans {
 
         for iter in 0..cfg.max_iters {
             iterations = iter + 1;
+            let _iter_span = hpa_trace::span!("kmeans", "iter", iter as u64);
             if cfg.recycle_buffers {
                 norms.clear();
                 norms.extend(centroids.iter().map(|c| c.norm_sq()));
@@ -217,11 +214,17 @@ impl KMeans {
                         p.lock().reset(k, dim);
                     }
                 } else {
-                    partials = ranges.iter().map(|_| Mutex::new(Partial::new(k, dim))).collect();
+                    partials = ranges
+                        .iter()
+                        .map(|_| Mutex::new(Partial::new(k, dim)))
+                        .collect();
                 }
             } else {
                 norms = centroids.iter().map(|c| c.norm_sq()).collect();
-                partials = ranges.iter().map(|_| Mutex::new(Partial::new(k, dim))).collect();
+                partials = ranges
+                    .iter()
+                    .map(|_| Mutex::new(Partial::new(k, dim)))
+                    .collect();
             }
             let norms_ref = &norms;
             let centroids_ref = &centroids;
@@ -230,6 +233,7 @@ impl KMeans {
             let ranges_ref = &ranges;
 
             // --- Parallel assignment + per-chunk partial centroid sums.
+            let assign_span = hpa_trace::span!("kmeans", "assign", iter as u64);
             exec.par_chunks(
                 ranges.len(),
                 1,
@@ -241,8 +245,7 @@ impl KMeans {
                             let mut best = 0usize;
                             let mut best_d = f64::INFINITY;
                             for (c, centroid) in centroids_ref.iter().enumerate() {
-                                let d =
-                                    squared_distance_to_centroid(x, centroid, norms_ref[c]);
+                                let d = squared_distance_to_centroid(x, centroid, norms_ref[c]);
                                 if d < best_d {
                                     best_d = d;
                                     best = c;
@@ -263,15 +266,19 @@ impl KMeans {
                     total
                 },
             );
+            drop(assign_span);
 
             // --- Parallel in-place tree merge of the partials (pairwise
             // rounds, like Cilk reducer merges), leaving the total in
             // partials[0]. Allocation-free.
+            let merge_span = hpa_trace::span!("kmeans", "merge", iter as u64);
             let m = partials.len();
             let mut stride = 1;
             while stride < m {
-                let pair_lhs: Vec<usize> =
-                    (0..m).step_by(stride * 2).filter(|i| i + stride < m).collect();
+                let pair_lhs: Vec<usize> = (0..m)
+                    .step_by(stride * 2)
+                    .filter(|i| i + stride < m)
+                    .collect();
                 let pair_lhs_ref = &pair_lhs;
                 exec.par_chunks(
                     pair_lhs.len(),
@@ -294,9 +301,11 @@ impl KMeans {
                 );
                 stride *= 2;
             }
+            drop(merge_span);
             let partial = partials[0].lock();
 
             // --- Serial centroid recompute.
+            let _recompute_span = hpa_trace::span!("kmeans", "recompute", iter as u64);
             let new_inertia = partial.cost;
             let movement = exec.serial(cost::recompute_cost(k, dim), || {
                 let mut max_move: f64 = 0.0;
@@ -408,7 +417,11 @@ mod tests {
         for exec in [
             Exec::pool(3),
             Exec::simulated(4, MachineModel::default()),
-            Exec::simulated_with(8, MachineModel::frictionless(), hpa_exec::CostMode::Analytic),
+            Exec::simulated_with(
+                8,
+                MachineModel::frictionless(),
+                hpa_exec::CostMode::Analytic,
+            ),
         ] {
             let other = KMeans::new(cfg(3)).fit(&exec, &data, dim);
             assert_eq!(reference.assignments, other.assignments, "under {exec:?}");
@@ -434,7 +447,8 @@ mod tests {
         let model = KMeans::new(cfg(3)).fit(&Exec::sequential(), &data, dim);
         let norms: Vec<f64> = model.centroids.iter().map(|c| c.norm_sq()).collect();
         for (x, &a) in data.iter().zip(&model.assignments) {
-            let da = squared_distance_to_centroid(x, &model.centroids[a as usize], norms[a as usize]);
+            let da =
+                squared_distance_to_centroid(x, &model.centroids[a as usize], norms[a as usize]);
             for (c, centroid) in model.centroids.iter().enumerate() {
                 let dc = squared_distance_to_centroid(x, centroid, norms[c]);
                 assert!(da <= dc + 1e-9, "doc assigned to {a} but {c} is closer");

@@ -1,6 +1,10 @@
 //! Property-based invariants of Lloyd's algorithm: cost monotonicity,
 //! assignment optimality, and executor equivalence on arbitrary sparse
 //! inputs.
+//!
+//! Gated behind the non-default `proptest` feature because the `proptest`
+//! crate is unavailable in offline builds (see workspace Cargo.toml).
+#![cfg(feature = "proptest")]
 
 use hpa_exec::{CostMode, Exec, MachineModel};
 use hpa_kmeans::{inertia_of, KMeans, KMeansConfig};

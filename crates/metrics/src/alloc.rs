@@ -110,10 +110,18 @@ pub struct HeapSnapshot {
 
 impl HeapSnapshot {
     /// Read the counters now.
+    ///
+    /// The loads are independent relaxed reads, so a concurrent allocation
+    /// can land between reading `CURRENT` and reading `PEAK`, yielding a
+    /// snapshot where `current > peak` — nonsensical for a high-water
+    /// mark. Clamp `peak` up to `current` so the invariant
+    /// `current <= peak` always holds within one snapshot.
     pub fn now() -> Self {
+        let current = CURRENT.load(Ordering::Relaxed);
+        let peak = PEAK.load(Ordering::Relaxed).max(current);
         HeapSnapshot {
-            current: CURRENT.load(Ordering::Relaxed),
-            peak: PEAK.load(Ordering::Relaxed),
+            current,
+            peak,
             total_allocated: TOTAL.load(Ordering::Relaxed),
             alloc_calls: ALLOCS.load(Ordering::Relaxed),
         }
@@ -144,7 +152,9 @@ impl HeapGauge {
     /// Net growth of live bytes since the gauge started. Saturates at zero
     /// if the region freed more than it allocated.
     pub fn live_growth(&self) -> usize {
-        HeapSnapshot::now().current.saturating_sub(self.start.current)
+        HeapSnapshot::now()
+            .current
+            .saturating_sub(self.start.current)
     }
 
     /// Peak live bytes observed during the region, relative to the bytes
@@ -175,10 +185,14 @@ mod tests {
 
     // These tests exercise the counter arithmetic directly; installing the
     // global allocator inside a unit test would affect the whole test
-    // binary, so binaries opt in instead.
+    // binary, so binaries opt in instead. They share process-global
+    // counters and make exact-delta assertions, so they serialize on a
+    // lock.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn record_updates_current_total_and_peak() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let before = HeapSnapshot::now();
         record_alloc(1000);
         record_alloc(500);
@@ -194,6 +208,7 @@ mod tests {
 
     #[test]
     fn gauge_reports_region_growth() {
+        let _g2 = LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let g = HeapGauge::start();
         record_alloc(4096);
         assert_eq!(g.live_growth(), 4096);
@@ -206,8 +221,45 @@ mod tests {
 
     #[test]
     fn active_flag_set_after_first_record() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
         record_alloc(1);
         assert!(HeapGauge::is_active());
         record_dealloc(1);
+    }
+
+    #[test]
+    fn snapshot_never_reports_current_above_peak() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // Regression: simulate the torn read where an allocation raced the
+        // snapshot — CURRENT has grown past the PEAK value the snapshot
+        // would read. Bumping CURRENT without the peak update reproduces
+        // the skew deterministically.
+        let grow = 1 << 20;
+        CURRENT.fetch_add(grow, Ordering::Relaxed);
+        let snap = HeapSnapshot::now();
+        assert!(
+            snap.current <= snap.peak,
+            "snapshot invariant violated: current {} > peak {}",
+            snap.current,
+            snap.peak
+        );
+        CURRENT.fetch_sub(grow, Ordering::Relaxed);
+
+        // Concurrent hammer: snapshots taken while another thread
+        // allocates must uphold the invariant every time.
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    record_alloc(4096);
+                    record_dealloc(4096);
+                }
+            });
+            for _ in 0..10_000 {
+                let snap = HeapSnapshot::now();
+                assert!(snap.current <= snap.peak);
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
     }
 }

@@ -23,7 +23,9 @@ const PALETTE: [&str; 6] = [
 ];
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn svg_open(title: &str) -> String {
@@ -362,7 +364,11 @@ mod tests {
             ],
         };
         let svg = chart.to_svg();
-        assert_eq!(svg.matches("<rect").count(), 4 + 2, "4 segments + 2 legend swatches");
+        assert_eq!(
+            svg.matches("<rect").count(),
+            4 + 2,
+            "4 segments + 2 legend swatches"
+        );
         // Same segment name -> same color in both bars.
         let color = PALETTE[0];
         assert!(svg.matches(&format!(r#"fill="{color}""#)).count() >= 3);

@@ -1,0 +1,216 @@
+#![warn(missing_docs)]
+//! Deterministic pseudo-random numbers without external dependencies.
+//!
+//! The workspace must build and test offline, so it cannot depend on the
+//! `rand` crate. Corpus generation and K-means seeding only need a small,
+//! fast, seedable generator with reasonable statistical quality — which
+//! SplitMix64 (Steele, Lea & Flood, OOPSLA 2014) provides in a dozen
+//! lines. The generator passes BigCrush when used as a 64-bit stream and
+//! is the standard seeding routine for the xoshiro family.
+//!
+//! Determinism contract: the output sequence for a given seed is part of
+//! the workspace's reproducibility guarantees (corpora are generated, not
+//! checked in), so the constants below must never change.
+
+/// A SplitMix64 pseudo-random generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a 64-bit seed. Any seed (including 0) is
+    /// fine: the output function scrambles the counter-like state.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Create a decorrelated generator from a base seed and a stream
+    /// index (e.g. one stream per document or per worker).
+    ///
+    /// The naive derivation `seed ^ stream * GAMMA` is a trap: SplitMix64
+    /// walks its state in steps of `GAMMA`, so seeds that are multiples
+    /// of `GAMMA` apart all lie on the *same* state orbit, and the
+    /// "independent" streams become shifted copies of one another. This
+    /// constructor avalanches `(seed, stream)` through the output
+    /// function first, landing each stream on an unrelated orbit.
+    pub fn seed_from_parts(seed: u64, stream: u64) -> Self {
+        let mut mixer = SplitMix64 {
+            state: seed ^ stream.rotate_left(32),
+        };
+        let state = mixer.next_u64();
+        SplitMix64 { state }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32-bit value (upper half of the 64-bit output).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)`, using the top 53 bits.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`. `lo` must be finite and `< hi`.
+    #[inline]
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + (hi - lo) * self.gen_f64()
+    }
+
+    /// Uniform index in `[0, n)`. Panics if `n == 0`.
+    ///
+    /// Uses Lemire's multiply-shift with rejection, so the distribution
+    /// is exactly uniform (no modulo bias).
+    #[inline]
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_index needs a non-empty range");
+        let n = n as u64;
+        // Reject the final partial slice (2^64 mod n values) to remove
+        // modulo bias.
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let m = (self.next_u64() as u128) * (n as u128);
+            if m as u64 >= threshold {
+                return (m >> 64) as usize;
+            }
+        }
+    }
+
+    /// `true` with probability `num / den`. Panics if `den == 0` or
+    /// `num > den`.
+    #[inline]
+    pub fn gen_ratio(&mut self, num: u32, den: u32) -> bool {
+        assert!(den > 0 && num <= den, "bad ratio {num}/{den}");
+        (self.gen_index(den as usize) as u32) < num
+    }
+
+    /// Standard normal sample via Box–Muller (one value per call; the
+    /// sibling value is discarded to keep the state machine simple).
+    pub fn gen_normal(&mut self) -> f64 {
+        let u1 = self.gen_f64().max(1e-12);
+        let u2 = self.gen_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::seed_from_u64(7);
+        let mut b = SplitMix64::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::seed_from_u64(8);
+        assert_ne!(SplitMix64::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_answer_vector() {
+        // Reference values from the canonical SplitMix64 (seed = 1234567).
+        let mut r = SplitMix64::seed_from_u64(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn streams_do_not_alias_onto_one_orbit() {
+        // Regression: deriving stream seeds as `seed ^ i * GAMMA` puts
+        // every stream on the same state orbit, so the union of the
+        // first K outputs of N streams collapses to ~N+K values instead
+        // of N*K. `seed_from_parts` must keep streams disjoint.
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        let (n_streams, k) = (256u64, 64);
+        for s in 0..n_streams {
+            let mut r = SplitMix64::seed_from_parts(42, s);
+            for _ in 0..k {
+                seen.insert(r.next_u64());
+            }
+        }
+        assert_eq!(seen.len() as u64, n_streams * k, "streams overlap");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut r = SplitMix64::seed_from_u64(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.gen_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn index_in_range_and_covers_all() {
+        let mut r = SplitMix64::seed_from_u64(5);
+        let mut seen = [0u32; 7];
+        for _ in 0..7000 {
+            let i = r.gen_index(7);
+            assert!(i < 7);
+            seen[i] += 1;
+        }
+        for (i, &c) in seen.iter().enumerate() {
+            assert!(c > 700, "bucket {i} hit only {c} times");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty range")]
+    fn empty_index_range_panics() {
+        SplitMix64::seed_from_u64(0).gen_index(0);
+    }
+
+    #[test]
+    fn ratio_frequency_matches() {
+        let mut r = SplitMix64::seed_from_u64(21);
+        let hits = (0..24_000).filter(|_| r.gen_ratio(1, 24)).count();
+        // Expect ~1000; allow generous slack.
+        assert!((700..1300).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn range_f64_respects_bounds() {
+        let mut r = SplitMix64::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = r.gen_range_f64(-3.0, 2.5);
+            assert!((-3.0..2.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_has_zero_mean_unit_variance() {
+        let mut r = SplitMix64::seed_from_u64(17);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.gen_normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+}

@@ -1,5 +1,9 @@
 //! Property-based tests for the sparse vector algebra: every law the
 //! clustering kernels rely on is checked against a dense reference model.
+//!
+//! Gated behind the non-default `proptest` feature because the `proptest`
+//! crate is unavailable in offline builds (see workspace Cargo.toml).
+#![cfg(feature = "proptest")]
 
 use hpa_sparse::{cosine_similarity, squared_distance_to_centroid, DenseVec, SparseVec};
 use proptest::prelude::*;

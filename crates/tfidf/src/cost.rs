@@ -229,7 +229,12 @@ mod tests {
         let v = 185_000;
         let map = transform_chunk_cost(DictKind::BTree, &counts.per_doc, v, 0..c.len());
         let umap = transform_chunk_cost(DictKind::Hash, &counts.per_doc, v, 0..c.len());
-        assert!(umap.cpu_ns < map.cpu_ns, "umap cpu {} map cpu {}", umap.cpu_ns, map.cpu_ns);
+        assert!(
+            umap.cpu_ns < map.cpu_ns,
+            "umap cpu {} map cpu {}",
+            umap.cpu_ns,
+            map.cpu_ns
+        );
         assert!(
             umap.mem_bytes > map.mem_bytes,
             "umap mem {} map mem {}",

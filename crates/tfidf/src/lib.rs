@@ -28,10 +28,10 @@ pub use vocab::Vocab;
 use hpa_arff::{ArffError, ArffHeader, ArffReader, ArffWriter};
 use hpa_corpus::{Corpus, Tokenizer};
 use hpa_dict::{AnyDict, DictKind, Dictionary};
+use hpa_exec::sync::Mutex;
 use hpa_exec::{Exec, TaskCost};
 use hpa_io::ByteCounter;
 use hpa_sparse::SparseVec;
-use parking_lot::Mutex;
 use std::io::{BufRead, Write};
 
 /// Configuration of the TF/IDF operator.
@@ -111,11 +111,13 @@ impl WordCounts {
         let mut total = 0u64;
         for d in &self.per_doc {
             let mut strings = 0u64;
-            d.counts.for_each_sorted(&mut |w, _| strings += w.len() as u64);
+            d.counts
+                .for_each_sorted(&mut |w, _| strings += w.len() as u64);
             total += self.dict_kind.resident_bytes(d.counts.len(), strings);
         }
         let mut df_strings = 0u64;
-        self.df.for_each_sorted(&mut |w, _| df_strings += w.len() as u64);
+        self.df
+            .for_each_sorted(&mut |w, _| df_strings += w.len() as u64);
         // The global DF dictionary is built once (never pre-sized per
         // document), so charge it as a plain structure of its kind.
         let global_kind = match self.dict_kind {
@@ -153,11 +155,11 @@ impl TfIdf {
 
     /// Phase 1: parallel tokenize + count. ("input+wc" in the figures.)
     pub fn count_words(&self, exec: &Exec, corpus: &Corpus) -> WordCounts {
+        let _span = hpa_trace::span!("tfidf", "count-words", corpus.len() as u64);
         let kind = self.config.dict_kind;
         let n = corpus.len();
         let docs = corpus.documents();
-        let slots: Vec<Mutex<Option<DocTermCounts>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<DocTermCounts>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
         // Per-chunk document-frequency dictionaries, merged sequentially
         // afterwards (the merge is the serial tail of this phase). One
@@ -183,7 +185,10 @@ impl TfIdf {
                         df_local.add(w, 1);
                     }
                 });
-                *slots[i].lock() = Some(DocTermCounts { counts, total_terms });
+                *slots[i].lock() = Some(DocTermCounts {
+                    counts,
+                    total_terms,
+                });
                 df_local
             },
             |mut a, b| {
@@ -212,6 +217,7 @@ impl TfIdf {
     /// dictionary — sorted for free on the tree, collect-and-sort on the
     /// hash table).
     pub fn build_vocab(&self, exec: &Exec, counts: &WordCounts) -> Vocab {
+        let _span = hpa_trace::span!("tfidf", "build-vocab", counts.df.len() as u64);
         let kind = self.config.dict_kind;
         let max_df = (self.config.max_df_fraction * counts.num_docs() as f64).ceil() as u64;
         let min_df = self.config.min_df.max(1) as u64;
@@ -223,6 +229,7 @@ impl TfIdf {
     /// Phase 2a ("transform"): parallel conversion of term counts into
     /// normalized TF·IDF sparse vectors.
     pub fn transform(&self, exec: &Exec, counts: &WordCounts, vocab: &Vocab) -> TfIdfModel {
+        let _span = hpa_trace::span!("tfidf", "transform", counts.num_docs() as u64);
         let n = counts.num_docs();
         let num_docs = n;
         let kind = self.config.dict_kind;
@@ -271,6 +278,7 @@ impl TfIdf {
 /// Phase 2b ("tfidf-output"): write the model as a sparse ARFF file.
 /// Sequential by format design; charged to the simulated storage device.
 pub fn write_arff<W: Write>(exec: &Exec, model: &TfIdfModel, out: W) -> Result<W, ArffError> {
+    let _span = hpa_trace::span!("tfidf", "write-arff", model.vectors.len() as u64);
     exec.serial_costed(|| {
         let result = (|| {
             let mut writer = ArffWriter::new(ByteCounter::new(out));

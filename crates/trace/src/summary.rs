@@ -1,0 +1,175 @@
+//! Aligned-text trace summaries.
+//!
+//! Traces are meant for Perfetto, but a quick per-category digest on the
+//! console is often all that's needed after a bench run. The summary has
+//! two tables (rendered with [`hpa_metrics::Table`]):
+//!
+//! * one row per `(category, span name)` pair: count, total time, mean,
+//!   p50, p99, max (quantiles from a power-of-two [`Histogram`], so they
+//!   are within 2x of the truth);
+//! * the top-N longest individual spans, for spotting outliers.
+
+use crate::{Histogram, Recording};
+use hpa_metrics::fmt_secs;
+use hpa_metrics::Table;
+use std::collections::BTreeMap;
+
+fn ns(v: u64) -> String {
+    fmt_secs(std::time::Duration::from_nanos(v))
+}
+
+impl Recording {
+    /// Render a per-(category, name) digest plus the `top_n` longest
+    /// spans as aligned text.
+    pub fn summary(&self, top_n: usize) -> String {
+        let mut groups: BTreeMap<(&str, &str), Histogram> = BTreeMap::new();
+        for s in &self.spans {
+            groups.entry((s.cat, s.name)).or_default().record(s.dur_ns);
+        }
+
+        let mut digest = Table::new(
+            "trace summary",
+            &["cat", "name", "count", "total", "mean", "p50", "p99", "max"],
+        );
+        for ((cat, name), h) in &groups {
+            digest.row(&[
+                cat.to_string(),
+                name.to_string(),
+                h.count().to_string(),
+                ns(h.sum()),
+                ns(h.mean() as u64),
+                ns(h.p50()),
+                ns(h.p99()),
+                ns(h.max()),
+            ]);
+        }
+
+        let mut out = digest.to_text();
+
+        if top_n > 0 && !self.spans.is_empty() {
+            let mut longest: Vec<&crate::SpanRec> = self.spans.iter().collect();
+            longest.sort_by_key(|s| std::cmp::Reverse(s.dur_ns));
+            longest.truncate(top_n);
+            let mut top = Table::new(
+                "longest spans",
+                &["cat", "name", "tid", "start", "dur", "arg"],
+            );
+            for s in longest {
+                top.row(&[
+                    s.cat.to_string(),
+                    s.name.to_string(),
+                    s.tid.to_string(),
+                    ns(s.start_ns),
+                    ns(s.dur_ns),
+                    s.arg.map(|a| a.to_string()).unwrap_or_default(),
+                ]);
+            }
+            out.push('\n');
+            out.push_str(&top.to_text());
+        }
+
+        if !self.counters.is_empty() {
+            let mut by_counter: BTreeMap<(&str, &str), (u64, u64, u64)> = BTreeMap::new();
+            for c in &self.counters {
+                let e = by_counter
+                    .entry((c.cat, c.name))
+                    .or_insert((u64::MAX, 0, 0));
+                e.0 = e.0.min(c.value);
+                e.1 = e.1.max(c.value);
+                e.2 += 1;
+            }
+            let mut counters = Table::new("counters", &["cat", "name", "samples", "min", "max"]);
+            for ((cat, name), (min, max, n)) in &by_counter {
+                counters.row(&[
+                    cat.to_string(),
+                    name.to_string(),
+                    n.to_string(),
+                    min.to_string(),
+                    max.to_string(),
+                ]);
+            }
+            out.push('\n');
+            out.push_str(&counters.to_text());
+        }
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CounterRec, SpanRec};
+
+    fn rec() -> Recording {
+        let mut r = Recording::default();
+        for i in 0..10 {
+            r.spans.push(SpanRec {
+                cat: "pool",
+                name: "task",
+                start_ns: i * 1_000,
+                dur_ns: 500 + i * 100,
+                arg: Some(i),
+                tid: 1,
+            });
+        }
+        r.spans.push(SpanRec {
+            cat: "phase",
+            name: "kmeans",
+            start_ns: 0,
+            dur_ns: 2_000_000,
+            arg: None,
+            tid: 0,
+        });
+        r.counters.push(CounterRec {
+            cat: "readahead",
+            name: "queue-depth",
+            ts_ns: 10,
+            value: 3,
+            tid: 0,
+        });
+        r.counters.push(CounterRec {
+            cat: "readahead",
+            name: "queue-depth",
+            ts_ns: 20,
+            value: 7,
+            tid: 0,
+        });
+        r
+    }
+
+    #[test]
+    fn summary_groups_by_cat_and_name() {
+        let s = rec().summary(3);
+        assert!(s.contains("trace summary"));
+        assert!(s.contains("pool"));
+        assert!(s.contains("task"));
+        assert!(s.contains("10")); // count of pool/task spans
+        assert!(s.contains("kmeans"));
+    }
+
+    #[test]
+    fn summary_lists_longest_spans_first() {
+        let s = rec().summary(1);
+        let top = s.split("longest spans").nth(1).expect("top table");
+        assert!(
+            top.contains("kmeans"),
+            "2ms span should top the list: {top}"
+        );
+        assert!(!top.contains("task"));
+    }
+
+    #[test]
+    fn summary_reports_counter_ranges() {
+        let s = rec().summary(0);
+        let c = s.split("counters").nth(1).expect("counter table");
+        assert!(c.contains("queue-depth"));
+        assert!(c.contains('3') && c.contains('7'));
+    }
+
+    #[test]
+    fn empty_recording_renders_without_panic() {
+        let s = Recording::default().summary(5);
+        assert!(s.contains("trace summary"));
+    }
+}

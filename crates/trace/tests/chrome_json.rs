@@ -1,0 +1,358 @@
+//! The Chrome-trace exporter must emit *well-formed* JSON — not just
+//! plausible-looking text. This test records spans, counters, and
+//! instants (with names that exercise every escaping branch), exports,
+//! and parses the result back with a small strict JSON parser.
+
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------
+// Minimal strict JSON parser (values, objects, arrays, strings with all
+// escapes, numbers). Fails loudly on any malformed input.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number '{text}': {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let mut pending_surrogate: Option<u16> = None;
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => {
+                    if pending_surrogate.is_some() {
+                        return Err("unpaired surrogate at end of string".into());
+                    }
+                    return Ok(out);
+                }
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    let simple = match esc {
+                        b'"' => Some('"'),
+                        b'\\' => Some('\\'),
+                        b'/' => Some('/'),
+                        b'b' => Some('\u{8}'),
+                        b'f' => Some('\u{c}'),
+                        b'n' => Some('\n'),
+                        b'r' => Some('\r'),
+                        b't' => Some('\t'),
+                        b'u' => None,
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    };
+                    if let Some(c) = simple {
+                        if pending_surrogate.is_some() {
+                            return Err("unpaired surrogate".into());
+                        }
+                        out.push(c);
+                        continue;
+                    }
+                    // \uXXXX, possibly a surrogate pair.
+                    if self.pos + 4 > self.bytes.len() {
+                        return Err("truncated \\u escape".into());
+                    }
+                    let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                        .map_err(|_| "non-utf8 \\u escape".to_string())?;
+                    let unit = u16::from_str_radix(hex, 16).map_err(|_| format!("bad \\u{hex}"))?;
+                    self.pos += 4;
+                    match (pending_surrogate.take(), unit) {
+                        (None, 0xD800..=0xDBFF) => pending_surrogate = Some(unit),
+                        (None, 0xDC00..=0xDFFF) => return Err("lone low surrogate".into()),
+                        (None, _) => out.push(char::from_u32(unit as u32).unwrap()),
+                        (Some(high), 0xDC00..=0xDFFF) => {
+                            let c =
+                                0x10000 + ((high as u32 - 0xD800) << 10) + (unit as u32 - 0xDC00);
+                            out.push(char::from_u32(c).ok_or("bad surrogate pair")?);
+                        }
+                        (Some(_), _) => return Err("unpaired high surrogate".into()),
+                    }
+                }
+                _ if pending_surrogate.is_some() => return Err("unpaired surrogate".into()),
+                // The exporter promises pure-ASCII output; reaching a raw
+                // multi-byte sequence here would be a bug.
+                0x20..=0x7E => out.push(b as char),
+                other => return Err(format!("raw control/non-ascii byte {other:#x} in string")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The test proper.
+// ---------------------------------------------------------------------
+
+/// A name that exercises every escaping branch: quote, backslash,
+/// control characters, non-ASCII BMP, and an astral-plane character
+/// (surrogate pair in \u escapes).
+const NASTY: &str = "q\"uote\\back\tslash\nnew ünïcode \u{1F980} done";
+
+#[test]
+fn exported_json_parses_back_with_all_record_kinds() {
+    hpa_trace::enable();
+    {
+        let mut s = hpa_trace::Span::enter("cat-a", NASTY);
+        s.set_arg(42);
+    }
+    let _plain = hpa_trace::span!("cat-a", "plain-span");
+    drop(_plain);
+    hpa_trace::counter("cat-b", "queue-depth", 7);
+    hpa_trace::instant("cat-c", "marker");
+    std::thread::spawn(|| {
+        let _s = hpa_trace::span!("cat-a", "from-another-thread");
+    })
+    .join()
+    .unwrap();
+    let recording = hpa_trace::take();
+    hpa_trace::disable();
+
+    let json = recording.to_chrome_json();
+    assert!(json.is_ascii(), "exporter must emit pure-ASCII JSON");
+
+    let doc = Parser::parse(&json).expect("exported JSON must parse");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut phases: BTreeMap<&str, usize> = BTreeMap::new();
+    for ev in events {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .expect("every event has a ph");
+        *phases
+            .entry(match ph {
+                "M" => "M",
+                "X" => "X",
+                "C" => "C",
+                "i" => "i",
+                other => panic!("unexpected phase {other}"),
+            })
+            .or_default() += 1;
+        assert!(ev.get("pid").and_then(Json::as_num).is_some());
+        if ph != "M" {
+            assert!(ev.get("ts").is_some(), "non-metadata events carry ts");
+        }
+        if ph == "X" {
+            assert!(ev.get("dur").is_some(), "complete events carry dur");
+        }
+    }
+    // Metadata (process + threads), 3 spans, 1 counter, 1 instant.
+    assert!(phases["M"] >= 3, "process + >=2 thread metadata events");
+    assert_eq!(phases["X"], 3);
+    assert_eq!(phases["C"], 1);
+    assert_eq!(phases["i"], 1);
+
+    // The nasty name survives the escape/unescape round trip exactly.
+    let found = events.iter().any(|ev| {
+        ev.get("name").and_then(Json::as_str) == Some(NASTY)
+            && ev
+                .get("args")
+                .and_then(|a| a.get("arg"))
+                .and_then(Json::as_num)
+                == Some(42.0)
+    });
+    assert!(found, "escaped span name did not round-trip");
+}
+
+#[test]
+fn parser_rejects_malformed_documents() {
+    for bad in [
+        "{",
+        "[1,]",
+        "{\"a\":}",
+        "\"unterminated",
+        "{\"a\":1} extra",
+        "{\"s\":\"\\uD800\"}",
+        "{\"s\":\"bad\\q\"}",
+    ] {
+        assert!(Parser::parse(bad).is_err(), "accepted malformed: {bad}");
+    }
+    // Sanity: the parser accepts obviously-good documents.
+    assert!(Parser::parse("{\"a\": [1, 2.5, \"x\", true, null]}").is_ok());
+    assert!(Parser::parse("{\"s\": \"\\uD83E\\uDD80\"}").is_ok());
+}

@@ -1,0 +1,42 @@
+//! Disabled tracing must cost nothing observable: no allocations on the
+//! span/counter/instant paths. Runs as its own integration-test process
+//! with the counting allocator installed, so the measurement is exact.
+
+use hpa_metrics::alloc::HeapGauge;
+
+#[global_allocator]
+static ALLOC: hpa_metrics::alloc::CountingAllocator = hpa_metrics::alloc::CountingAllocator;
+
+#[test]
+fn disabled_tracing_allocates_nothing() {
+    assert!(
+        !hpa_trace::is_enabled(),
+        "tracing must start disabled in a fresh process"
+    );
+
+    // Touch every entry point once outside the measured region, so any
+    // lazily-initialised state (there should be none on the disabled
+    // path) is charged to the warm-up, not the measurement.
+    {
+        let mut s = hpa_trace::Span::enter("t", "warmup");
+        s.set_arg(1);
+        hpa_trace::counter("t", "warmup", 1);
+        hpa_trace::instant("t", "warmup");
+        let _m = hpa_trace::span!("t", "warmup2", 2);
+    }
+
+    let gauge = HeapGauge::start();
+    for i in 0..100_000u64 {
+        let mut span = hpa_trace::Span::enter("bench", "work");
+        span.set_arg(i);
+        hpa_trace::counter("bench", "progress", i);
+        hpa_trace::instant("bench", "tick");
+        let _nested = hpa_trace::span!("bench", "inner", i);
+    }
+    let allocs = gauge.allocs_in_region();
+    let bytes = gauge.allocated_in_region();
+    assert_eq!(
+        allocs, 0,
+        "disabled tracing made {allocs} allocations ({bytes} bytes)"
+    );
+}

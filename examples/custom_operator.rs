@@ -55,8 +55,7 @@ impl<'a> Operator<TopTermsInput<'a>> for TopTermsOp {
                             .filter(|(_, w)| **w > 0.0)
                             .map(|(t, w)| (t as u32, *w))
                             .collect();
-                        weighted
-                            .sort_unstable_by(|a, b| b.1.total_cmp(&a.1));
+                        weighted.sort_unstable_by(|a, b| b.1.total_cmp(&a.1));
                         weighted
                             .into_iter()
                             .take(per_cluster)

@@ -74,7 +74,9 @@ impl Flags {
     fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad value for {name}: '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for {name}: '{v}'")),
         }
     }
 }
@@ -198,7 +200,9 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     let file = std::io::BufWriter::new(
         std::fs::File::create(model_path).map_err(|e| format!("creating {model_path}: {e}"))?,
     );
-    pipeline.save(file).map_err(|e| format!("saving model: {e}"))?;
+    pipeline
+        .save(file)
+        .map_err(|e| format!("saving model: {e}"))?;
     eprintln!(
         "trained on {} documents ({} terms, k={k}); model saved to {model_path}",
         assignments.len(),

@@ -22,6 +22,8 @@
 //! * [`kmeans`] — the parallel sparse K-means operator and WEKA-style baseline
 //! * [`workflow`] — the operator/workflow framework (discrete vs fused)
 //! * [`metrics`] — phase timing, heap accounting, result tables
+//! * [`rng`] — small deterministic PRNG (SplitMix64), no external deps
+//! * [`trace`] — opt-in span tracing with Chrome-trace (Perfetto) export
 //!
 //! ## Quickstart
 //!
@@ -50,8 +52,10 @@ pub use hpa_exec as exec;
 pub use hpa_io as io;
 pub use hpa_kmeans as kmeans;
 pub use hpa_metrics as metrics;
+pub use hpa_rng as rng;
 pub use hpa_sparse as sparse;
 pub use hpa_tfidf as tfidf;
+pub use hpa_trace as trace;
 
 /// Commonly used items, for `use hpa::prelude::*`.
 pub mod prelude {

@@ -22,12 +22,18 @@ fn full_cli_round_trip() {
 
     // generate
     let out = hpa()
-        .args(["generate", "--preset", "mix", "--scale", "0.002", "--seed", "9"])
+        .args([
+            "generate", "--preset", "mix", "--scale", "0.002", "--seed", "9",
+        ])
         .arg("--out")
         .arg(&corpus_dir)
         .output()
         .expect("run hpa generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let n_files = std::fs::read_dir(&corpus_dir).unwrap().count();
     assert!(n_files > 10, "corpus has {n_files} files");
 
@@ -40,11 +46,18 @@ fn full_cli_round_trip() {
         .arg(&clusters_path)
         .output()
         .expect("run hpa cluster");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let clusters = std::fs::read_to_string(&clusters_path).unwrap();
     assert_eq!(clusters.lines().count(), n_files);
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(stderr.contains("input+wc"), "phase report on stderr: {stderr}");
+    assert!(
+        stderr.contains("input+wc"),
+        "phase report on stderr: {stderr}"
+    );
 
     // tfidf export
     let out = hpa()
@@ -55,7 +68,11 @@ fn full_cli_round_trip() {
         .arg(&arff_path)
         .output()
         .expect("run hpa tfidf");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let arff = std::fs::read_to_string(&arff_path).unwrap();
     assert!(arff.starts_with("@RELATION"));
     assert!(arff.contains("@DATA"));
@@ -69,7 +86,11 @@ fn full_cli_round_trip() {
         .arg(&model_path)
         .output()
         .expect("run hpa train");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = hpa()
         .arg("predict")
@@ -79,7 +100,11 @@ fn full_cli_round_trip() {
         .arg(&model_path)
         .output()
         .expect("run hpa predict");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let predictions = String::from_utf8_lossy(&out.stdout);
     assert_eq!(predictions.lines().count(), n_files);
     for line in predictions.lines() {
@@ -88,9 +113,7 @@ fn full_cli_round_trip() {
         assert!(c < 3);
     }
 
-    for p in [&corpus_dir] {
-        std::fs::remove_dir_all(p).ok();
-    }
+    std::fs::remove_dir_all(&corpus_dir).ok();
     for p in [&model_path, &clusters_path, &arff_path] {
         std::fs::remove_file(p).ok();
     }

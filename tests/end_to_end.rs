@@ -50,7 +50,10 @@ fn dictionary_kind_never_changes_the_answer() {
     // must produce the identical clustering.
     let corpus = corpus();
     let exec = Exec::sequential();
-    let reference = builder(DictKind::BTree).fused().run(&corpus, &exec).unwrap();
+    let reference = builder(DictKind::BTree)
+        .fused()
+        .run(&corpus, &exec)
+        .unwrap();
     for kind in [DictKind::Hash, DictKind::PAPER_PRESIZE] {
         let other = builder(kind).fused().run(&corpus, &exec).unwrap();
         assert_eq!(reference.assignments, other.assignments, "{kind:?}");
@@ -72,7 +75,10 @@ fn executors_agree_bit_for_bit() {
         Exec::simulated(8, MachineModel::default()),
         Exec::simulated_with(16, MachineModel::frictionless(), CostMode::Analytic),
     ] {
-        let out = builder(DictKind::BTree).fused().run(&corpus, &exec).unwrap();
+        let out = builder(DictKind::BTree)
+            .fused()
+            .run(&corpus, &exec)
+            .unwrap();
         assert_eq!(reference.assignments, out.assignments, "under {exec:?}");
         assert_eq!(reference.inertia, out.inertia, "under {exec:?}");
     }
@@ -84,7 +90,10 @@ fn simulated_time_decreases_with_cores_until_serial_floor() {
     let mut last = f64::INFINITY;
     for cores in [1, 2, 4, 8] {
         let exec = Exec::simulated_with(cores, MachineModel::default(), CostMode::Analytic);
-        let out = builder(DictKind::BTree).fused().run(&corpus, &exec).unwrap();
+        let out = builder(DictKind::BTree)
+            .fused()
+            .run(&corpus, &exec)
+            .unwrap();
         let t = out.phases.total().as_secs_f64();
         assert!(
             t <= last * 1.02,
@@ -101,8 +110,14 @@ fn workflow_from_disk_corpus_matches_in_memory() {
     hpa::corpus::disk::write_corpus(&corpus, &dir).unwrap();
     let exec = Exec::sequential();
     let loaded = hpa::io::load_corpus_parallel(&exec, &corpus.name, &dir).unwrap();
-    let a = builder(DictKind::BTree).fused().run(&corpus, &exec).unwrap();
-    let b = builder(DictKind::BTree).fused().run(&loaded, &exec).unwrap();
+    let a = builder(DictKind::BTree)
+        .fused()
+        .run(&corpus, &exec)
+        .unwrap();
+    let b = builder(DictKind::BTree)
+        .fused()
+        .run(&loaded, &exec)
+        .unwrap();
     assert_eq!(a.assignments, b.assignments);
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -176,7 +191,10 @@ fn clustering_quality_beats_random_assignment() {
 fn outcome_output_is_valid_csv_of_assignments() {
     let corpus = corpus();
     let exec = Exec::sequential();
-    let out = builder(DictKind::BTree).fused().run(&corpus, &exec).unwrap();
+    let out = builder(DictKind::BTree)
+        .fused()
+        .run(&corpus, &exec)
+        .unwrap();
     let text = String::from_utf8(out.output.clone()).unwrap();
     let mut lines = 0;
     for (i, line) in text.lines().enumerate() {

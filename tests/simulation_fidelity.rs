@@ -38,8 +38,8 @@ fn figure1_ordering_nsf_scales_better_than_mix() {
     // Self-relative K-means speedup at 16 cores: NSF > Mix (Figure 1).
     let speedup_at_16 = |spec: CorpusSpec| {
         let corpus = spec.generate(3);
-        let model = hpa::tfidf::TfIdf::new(TfIdfConfig::default())
-            .fit(&Exec::sequential(), &corpus);
+        let model =
+            hpa::tfidf::TfIdf::new(TfIdfConfig::default()).fit(&Exec::sequential(), &corpus);
         let run = |cores: usize| {
             let e = exec(cores);
             let t0 = e.now();
@@ -82,7 +82,10 @@ fn figure3_ordering_discrete_overhead_grows_with_threads() {
     };
     let r1 = ratio(1);
     let r16 = ratio(16);
-    assert!(r1 > 1.05, "discrete must cost extra even at 1 thread: {r1:.3}");
+    assert!(
+        r1 > 1.05,
+        "discrete must cost extra even at 1 thread: {r1:.3}"
+    );
     assert!(
         r16 > r1 + 0.5,
         "I/O overhead must grow with threads: {r1:.2} -> {r16:.2}"
@@ -92,9 +95,8 @@ fn figure3_ordering_discrete_overhead_grows_with_threads() {
 #[test]
 fn figure4_orderings_hold() {
     let corpus = CorpusSpec::mix().scaled(0.02).generate(3);
-    let run = |kind: DictKind, cores: usize| {
-        workflow(kind).fused().run(&corpus, &exec(cores)).unwrap()
-    };
+    let run =
+        |kind: DictKind, cores: usize| workflow(kind).fused().run(&corpus, &exec(cores)).unwrap();
 
     let map1 = run(DictKind::BTree, 1);
     let umap1 = run(DictKind::PAPER_PRESIZE, 1);
@@ -118,10 +120,8 @@ fn figure4_orderings_hold() {
     // but map's transform scales better to 16 threads.
     let map16 = run(DictKind::BTree, 16);
     let umap16 = run(DictKind::PAPER_PRESIZE, 16);
-    let scale_map =
-        tr_map.as_secs_f64() / map16.phases.get("transform").unwrap().as_secs_f64();
-    let scale_umap =
-        tr_umap.as_secs_f64() / umap16.phases.get("transform").unwrap().as_secs_f64();
+    let scale_map = tr_map.as_secs_f64() / map16.phases.get("transform").unwrap().as_secs_f64();
+    let scale_umap = tr_umap.as_secs_f64() / umap16.phases.get("transform").unwrap().as_secs_f64();
     assert!(
         scale_map > scale_umap,
         "transform scalability: map {scale_map:.2}x vs u-map {scale_umap:.2}x"
@@ -179,7 +179,10 @@ fn weka_ordering_baseline_is_dramatically_slower() {
     let slow = hpa::kmeans::baseline::SimpleKMeans::new(cfg).fit(&model.vectors, dim);
     let slow_time = t0.elapsed();
 
-    assert_eq!(fast.assignments, slow.assignments, "same algorithm, same answer");
+    assert_eq!(
+        fast.assignments, slow.assignments,
+        "same algorithm, same answer"
+    );
     assert!(
         slow_time > fast_time * 5,
         "dense baseline should be >5x slower even at toy scale: {slow_time:?} vs {fast_time:?}"

@@ -1,6 +1,10 @@
 //! Property tests over the whole workflow on *arbitrary* small corpora
 //! (raw generated documents, not just the calibrated synthetic sets):
 //! strategy equivalence, dictionary-kind equivalence, and model sanity.
+//!
+//! Gated behind the non-default `proptest` feature because the `proptest`
+//! crate is unavailable in offline builds (see workspace Cargo.toml).
+#![cfg(feature = "proptest")]
 
 use hpa::corpus::{Corpus, Document};
 use hpa::dict::DictKind;
