@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! ARFF (Attribute-Relation File Format) reader and writer.
 //!
 //! The paper's discrete TF/IDF → K-means workflow communicates through

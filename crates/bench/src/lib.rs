@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! Shared support for the benchmark harness.
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the

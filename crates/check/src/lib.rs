@@ -1,0 +1,287 @@
+#![warn(missing_docs)]
+//! `hpa-check` — a zero-dependency, loom-inspired deterministic
+//! concurrency model checker for the workspace's hand-rolled parallelism
+//! substrate, plus (as `src/bin/lint.rs`) a static lint pass over the
+//! workspace sources.
+//!
+//! PR 1 replaced crossbeam/parking_lot with in-tree primitives
+//! (`hpa_exec::sync`, `hpa_exec::deque`, `hpa_io::channel`), so the
+//! paper reproduction's Cilkplus-style parallelism now rests on ~1.3k
+//! lines of hand-written concurrent code. This crate makes that code
+//! *checkable*: it provides shim types ([`sync::Mutex`],
+//! [`sync::Condvar`], [`sync::atomic`], [`thread::spawn`],
+//! [`yield_now`]) that the substrate crates select via cfg-switched
+//! facades under `cfg(any(hpa_check, feature = "model-check"))`, and an
+//! explorer ([`model`] / [`model_with`]) that reruns a closure under
+//! every (bounded) thread interleaving of those shim operations.
+//!
+//! ```no_run
+//! use hpa_check as check;
+//! use std::sync::Arc;
+//!
+//! let report = check::model(|| {
+//!     let m = Arc::new(check::sync::Mutex::new(0u64));
+//!     let m2 = Arc::clone(&m);
+//!     let t = check::thread::spawn(move || *m2.lock() += 1);
+//!     *m.lock() += 1;
+//!     t.join().unwrap();
+//!     assert_eq!(*m.lock(), 2);
+//! });
+//! assert!(report.error.is_none());
+//! ```
+//!
+//! The checker explores **sequentially consistent** interleavings: one
+//! thread runs at a time and every shim operation is a scheduling point.
+//! Weak-memory reorderings are out of scope — the companion lint binary
+//! instead restricts where `Ordering::Relaxed` may appear, so every
+//! synchronization-carrying atomic in the workspace uses acquire/release
+//! or stronger and SC exploration is a faithful over-approximation of
+//! the states those orderings allow.
+//!
+//! See `DESIGN.md` § Verification for how the substrate crates are
+//! wired to the shims and which suites encode the known-hard schedules.
+
+pub mod sched;
+pub mod sync;
+pub mod thread;
+
+pub use sched::{CheckConfig, CheckError, Report, Strategy};
+
+use std::sync::Arc;
+
+/// Run `f` under the model checker with [`CheckConfig::default`],
+/// panicking (with the failing schedule) if any interleaving deadlocks
+/// or panics. Returns the exploration [`Report`] otherwise.
+pub fn model(f: impl Fn() + Send + Sync + 'static) -> Report {
+    let report = model_with(CheckConfig::default(), f);
+    if let Some(e) = &report.error {
+        panic!(
+            "model check failed after {} interleavings: {}\nfailing schedule: {:?}",
+            report.interleavings, e.message, e.schedule
+        );
+    }
+    report
+}
+
+/// Run `f` under the model checker with an explicit configuration.
+/// Unlike [`model`], a failing interleaving is reported in
+/// [`Report::error`] rather than panicking — tests that *expect* a bug
+/// (seeded-defect tests) assert on it.
+pub fn model_with(cfg: CheckConfig, f: impl Fn() + Send + Sync + 'static) -> Report {
+    sched::explore(cfg, Arc::new(f))
+}
+
+/// Re-export of [`thread::yield_now`], so call sites can write
+/// `check::yield_now()`.
+pub use thread::yield_now;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_runs_once() {
+        let report = model(|| {
+            let m = sync::Mutex::new(1u64);
+            assert_eq!(*m.lock(), 1);
+            *m.lock() += 1;
+            assert_eq!(m.into_inner(), 2);
+        });
+        assert_eq!(report.interleavings, 1);
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn two_increments_explore_both_orders_and_stay_exclusive() {
+        let report = model(|| {
+            let m = Arc::new(sync::Mutex::new(0u64));
+            let m2 = Arc::clone(&m);
+            let t = thread::spawn(move || {
+                let mut g = m2.lock();
+                let v = *g;
+                *g = v + 1;
+            });
+            {
+                let mut g = m.lock();
+                let v = *g;
+                *g = v + 1;
+            }
+            t.join().unwrap();
+            assert_eq!(*m.lock(), 2);
+        });
+        assert!(report.interleavings >= 2, "{report:?}");
+    }
+
+    #[test]
+    fn atomic_race_is_visible_to_the_explorer() {
+        // Non-atomic read-modify-write via two separate shim ops: the
+        // lost-update interleaving must be among the explored ones.
+        use std::sync::atomic::Ordering as O;
+        let lost = Arc::new(std::sync::Mutex::new(false));
+        let lost2 = Arc::clone(&lost);
+        let report = model_with(CheckConfig::default(), move |/* each run */| {
+            let a = Arc::new(sync::atomic::AtomicU64::new(0));
+            let a2 = Arc::clone(&a);
+            let t = thread::spawn(move || {
+                let v = a2.load(O::SeqCst);
+                a2.store(v + 1, O::SeqCst);
+            });
+            let v = a.load(O::SeqCst);
+            a.store(v + 1, O::SeqCst);
+            t.join().unwrap();
+            if a.load(O::SeqCst) == 1 {
+                *lost2.lock().unwrap() = true;
+            }
+        });
+        assert!(report.error.is_none(), "{report:?}");
+        assert!(
+            *lost.lock().unwrap(),
+            "explorer missed the lost-update interleaving: {report:?}"
+        );
+    }
+
+    #[test]
+    fn deadlock_is_reported_not_hung() {
+        let report = model_with(CheckConfig::default(), || {
+            let m = sync::Mutex::new(());
+            let cv = sync::Condvar::new();
+            let mut g = m.lock();
+            // Nobody will ever notify: every interleaving deadlocks.
+            cv.wait(&mut g);
+        });
+        let err = report.error.expect("deadlock must be detected");
+        assert!(err.message.contains("deadlock"), "{}", err.message);
+    }
+
+    #[test]
+    fn condvar_handshake_passes_all_interleavings() {
+        let report = model(|| {
+            let shared = Arc::new((sync::Mutex::new(false), sync::Condvar::new()));
+            let s2 = Arc::clone(&shared);
+            let t = thread::spawn(move || {
+                let (m, cv) = &*s2;
+                let mut g = m.lock();
+                *g = true;
+                cv.notify_one();
+            });
+            let (m, cv) = &*shared;
+            let mut g = m.lock();
+            while !*g {
+                cv.wait(&mut g);
+            }
+            drop(g);
+            t.join().unwrap();
+        });
+        assert!(report.interleavings >= 2, "{report:?}");
+    }
+
+    #[test]
+    fn wait_for_can_time_out_without_notify() {
+        // A lone timed waiter must complete via the modeled timeout.
+        let report = model(|| {
+            let m = sync::Mutex::new(());
+            let cv = sync::Condvar::new();
+            let mut g = m.lock();
+            let timed_out = cv.wait_for(&mut g, std::time::Duration::from_millis(1));
+            assert!(timed_out);
+        });
+        assert!(report.error.is_none());
+    }
+
+    #[test]
+    fn preemption_bound_zero_runs_threads_to_completion() {
+        let report = model_with(
+            CheckConfig {
+                preemptions: Some(0),
+                ..CheckConfig::default()
+            },
+            || {
+                let a = Arc::new(sync::atomic::AtomicU64::new(0));
+                let a2 = Arc::clone(&a);
+                let t = thread::spawn(move || {
+                    a2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+                a.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                t.join().unwrap();
+            },
+        );
+        assert!(report.error.is_none(), "{report:?}");
+        // With no preemptions allowed, only voluntary switch points
+        // branch; the space collapses to a handful of schedules.
+        assert!(report.interleavings < 16, "{report:?}");
+    }
+
+    #[test]
+    fn random_walk_samples_distinct_schedules() {
+        let report = model_with(
+            CheckConfig {
+                strategy: Strategy::Random {
+                    seed: 7,
+                    iterations: 64,
+                },
+                ..CheckConfig::default()
+            },
+            || {
+                let a = Arc::new(sync::atomic::AtomicU64::new(0));
+                let handles: Vec<_> = (0..3)
+                    .map(|_| {
+                        let a = Arc::clone(&a);
+                        thread::spawn(move || {
+                            a.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                            yield_now();
+                            a.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+                assert_eq!(a.load(std::sync::atomic::Ordering::SeqCst), 6);
+            },
+        );
+        assert!(report.error.is_none(), "{report:?}");
+        assert!(report.interleavings > 8, "{report:?}");
+    }
+
+    #[test]
+    fn shims_fall_back_to_std_outside_a_model_run() {
+        // No model() wrapper: these must behave like plain std types.
+        let m = Arc::new(sync::Mutex::new(0u64));
+        let cv = Arc::new(sync::Condvar::new());
+        let m2 = Arc::clone(&m);
+        let cv2 = Arc::clone(&cv);
+        let t = thread::spawn(move || {
+            *m2.lock() = 7;
+            cv2.notify_all();
+        });
+        {
+            let mut g = m.lock();
+            while *g != 7 {
+                cv.wait_for(&mut g, std::time::Duration::from_millis(50));
+            }
+        }
+        t.join().unwrap();
+        let a = sync::atomic::AtomicUsize::new(3);
+        assert_eq!(a.fetch_add(2, std::sync::atomic::Ordering::SeqCst), 3);
+        assert_eq!(a.load(std::sync::atomic::Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn panicking_interleaving_is_reported_with_schedule() {
+        let report = model_with(CheckConfig::default(), || {
+            let a = Arc::new(sync::atomic::AtomicU64::new(0));
+            let a2 = Arc::clone(&a);
+            let t = thread::spawn(move || {
+                a2.store(1, std::sync::atomic::Ordering::SeqCst);
+            });
+            // Seeded bug: asserts a value that only holds in some
+            // interleavings.
+            assert_eq!(a.load(std::sync::atomic::Ordering::SeqCst), 0);
+            t.join().unwrap();
+        });
+        let err = report.error.expect("racy assert must fail somewhere");
+        assert!(err.message.contains("panicked"), "{}", err.message);
+        assert!(!err.schedule.is_empty());
+    }
+}

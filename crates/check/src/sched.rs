@@ -1,0 +1,864 @@
+//! The cooperative scheduler and interleaving explorer.
+//!
+//! A model run executes the checked closure repeatedly. Each execution
+//! spawns one real OS thread per model thread, but only **one** of them
+//! is ever runnable: every synchronization operation (shim mutex lock,
+//! atomic access, condvar wait, spawn, join, yield) enters the scheduler,
+//! which decides — deterministically, from a recorded decision path —
+//! which thread runs next. Between executions the explorer backtracks the
+//! last free decision (depth-first), so the run as a whole enumerates
+//! distinct interleavings. Because execution is serialized, the explored
+//! semantics are **sequential consistency**; weak-memory reorderings are
+//! out of scope (the lint constrains `Ordering::Relaxed` usage instead).
+//!
+//! Three mechanisms keep the search tractable:
+//!
+//! * **Preemption bounding** — switching away from a thread that could
+//!   have continued costs one unit from a configurable budget; forced
+//!   switches (the current thread blocked) are free. Most real bugs
+//!   surface within 2–3 preemptions (CHESS heuristic).
+//! * **State hashing** — every decision point folds the scheduler-visible
+//!   state (thread statuses, lock owners, waiter sets, atomic values)
+//!   into a signature; the explorer reports the number of distinct states
+//!   visited, which is the honest "coverage" number.
+//! * **Random walk** — for state spaces too large to exhaust, a seeded
+//!   SplitMix64 walk samples schedules uniformly at every decision point;
+//!   distinct schedules are counted by path hash.
+//!
+//! Blocking is modeled cooperatively: a thread blocked on a shim mutex is
+//! not schedulable until the owner hands the lock over (direct handoff;
+//! the recipient among the waiters is itself a recorded decision), and a
+//! thread in `Condvar::wait` is not schedulable until notified. A timed
+//! wait (`wait_for`) is additionally schedulable as a *timeout firing*,
+//! which is how missed-wakeup bugs stay observable without modeling time.
+//! If no thread is schedulable and not all threads finished, the run
+//! reports a deadlock together with the schedule that produced it.
+
+use hpa_rng::SplitMix64;
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdGuard};
+
+/// Panic payload used to unwind model threads when a run aborts (error
+/// found or another thread panicked). Swallowed by the thread trampoline;
+/// unwinds via `resume_unwind`, so the panic hook stays silent.
+pub(crate) struct AbortToken;
+
+/// One recorded scheduling decision: `index` was chosen out of `n`
+/// alternatives. `forced` decisions (single candidate, or preemption
+/// budget exhausted) are not backtracked.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Decision {
+    index: u32,
+    n: u32,
+    forced: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// Can be scheduled.
+    Runnable,
+    /// Waiting for the shim mutex `oid`; woken by lock handoff.
+    Lock(usize),
+    /// Waiting on condvar `cv`; schedulable iff `timed` (timeout firing).
+    Cv {
+        cv: usize,
+        timed: bool,
+    },
+    /// Waiting for thread `tid` to finish.
+    Join(usize),
+    Finished,
+}
+
+struct ThreadRec {
+    status: Status,
+    /// For condvar waiters: woken by notify (`true`) or timeout (`false`).
+    notified: bool,
+}
+
+enum ObjState {
+    Lock {
+        owner: Option<usize>,
+        waiters: Vec<usize>,
+    },
+    Cv {
+        waiters: Vec<usize>,
+    },
+    Atomic {
+        val: u64,
+    },
+}
+
+#[derive(Clone, Copy)]
+struct Limits {
+    max_ops: usize,
+    preemptions: Option<usize>,
+    max_threads: usize,
+}
+
+struct SchedState {
+    threads: Vec<ThreadRec>,
+    objects: Vec<ObjState>,
+    active: Option<usize>,
+    /// Replay prefix for this execution; decisions beyond it are fresh.
+    prefix: Vec<Decision>,
+    /// Decisions actually taken this execution.
+    decisions: Vec<Decision>,
+    preemptions_used: usize,
+    ops: usize,
+    /// State signatures observed at decision points.
+    sigs: Vec<u64>,
+    /// Random-walk generator; `None` selects DFS (first alternative).
+    rng: Option<SplitMix64>,
+    error: Option<String>,
+    aborting: bool,
+    done: bool,
+    limits: Limits,
+}
+
+pub(crate) struct SchedShared {
+    state: StdMutex<SchedState>,
+    cv: StdCondvar,
+    /// Distinguishes executions so lazily-registered object ids from a
+    /// previous run are never mistaken for this run's.
+    nonce: u64,
+}
+
+/// Lazily-assigned per-execution object id, embedded in each shim object.
+/// Packed as `(nonce_low32 + 1) << 32 | id`; zero means "unassigned".
+#[derive(Debug)]
+pub(crate) struct ObjCell(AtomicU64);
+
+impl ObjCell {
+    pub(crate) const fn new() -> Self {
+        ObjCell(AtomicU64::new(0))
+    }
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// Handle a model thread uses to talk to its scheduler.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    shared: Arc<SchedShared>,
+    tid: usize,
+}
+
+/// The scheduler context of the calling thread, if it is a model thread
+/// in an active run. Shims use this to decide between routing an
+/// operation through the scheduler and falling back to raw `std`
+/// behavior — the fallback is what makes the shims safe to compile into
+/// code that also runs outside `model()` (e.g. regular unit tests built
+/// with the `model-check` feature unified on).
+pub(crate) fn current() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn lock_poison_free<T>(m: &StdMutex<T>) -> StdGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn schedulable(t: &ThreadRec) -> bool {
+    matches!(t.status, Status::Runnable | Status::Cv { timed: true, .. })
+}
+
+impl SchedState {
+    /// Fold the scheduler-visible state into a signature and record it.
+    fn push_sig(&mut self, meta: u64) {
+        let mut h = 0x9e37_79b9_7f4a_7c15u64 ^ meta;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+            h ^= h >> 33;
+        };
+        for t in &self.threads {
+            let code = match t.status {
+                Status::Runnable => 1,
+                Status::Lock(o) => 2 | ((o as u64) << 8),
+                Status::Cv { cv, timed } => 3 | ((cv as u64) << 8) | ((timed as u64) << 40),
+                Status::Join(t) => 4 | ((t as u64) << 8),
+                Status::Finished => 5,
+            };
+            mix(code | ((t.notified as u64) << 41));
+        }
+        for o in &self.objects {
+            match o {
+                ObjState::Lock { owner, waiters } => {
+                    mix(0x10 | owner.map_or(0, |w| (w as u64 + 1) << 8));
+                    for w in waiters {
+                        mix(0x11 | ((*w as u64) << 8));
+                    }
+                }
+                ObjState::Cv { waiters } => {
+                    for w in waiters {
+                        mix(0x20 | ((*w as u64) << 8));
+                    }
+                }
+                ObjState::Atomic { val } => mix(0x30 ^ *val),
+            }
+        }
+        self.sigs.push(h);
+    }
+
+    /// Pick one of `n` alternatives, replaying the prefix when inside it.
+    fn decide(&mut self, n: usize, forced: bool) -> Result<usize, String> {
+        debug_assert!(n >= 1);
+        let forced = forced || n == 1;
+        let idx = if self.decisions.len() < self.prefix.len() {
+            let d = self.prefix[self.decisions.len()];
+            if d.n != n as u32 {
+                return Err(format!(
+                    "replay divergence at decision {} (recorded {} alternatives, now {}): \
+                     the model body is nondeterministic outside the scheduler",
+                    self.decisions.len(),
+                    d.n,
+                    n
+                ));
+            }
+            d.index as usize
+        } else if forced {
+            0
+        } else if let Some(rng) = &mut self.rng {
+            rng.gen_index(n)
+        } else {
+            0
+        };
+        self.decisions.push(Decision {
+            index: idx as u32,
+            n: n as u32,
+            forced,
+        });
+        Ok(idx)
+    }
+
+    /// Schedulable threads, current thread first (so index 0 always means
+    /// "continue without preempting" when that is possible).
+    fn candidates(&self, me: usize) -> Vec<usize> {
+        let mut v = Vec::with_capacity(self.threads.len());
+        if schedulable(&self.threads[me]) {
+            v.push(me);
+        }
+        v.extend((0..self.threads.len()).filter(|&i| i != me && schedulable(&self.threads[i])));
+        v
+    }
+
+    fn describe_block(&self) -> String {
+        let states: Vec<String> = self
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(i, t)| format!("t{}={:?}", i, t.status))
+            .collect();
+        states.join(", ")
+    }
+}
+
+impl Ctx {
+    fn state(&self) -> StdGuard<'_, SchedState> {
+        lock_poison_free(&self.shared.state)
+    }
+
+    /// Record an error, wake everyone, and unwind the calling thread.
+    fn fail(&self, mut st: StdGuard<'_, SchedState>, msg: String) -> ! {
+        if st.error.is_none() {
+            st.error = Some(msg);
+        }
+        st.aborting = true;
+        drop(st);
+        self.shared.cv.notify_all();
+        resume_unwind(Box::new(AbortToken));
+    }
+
+    /// Park until this thread is the active one (or the run aborts).
+    fn wait_active<'a>(&self, mut st: StdGuard<'a, SchedState>) -> StdGuard<'a, SchedState> {
+        loop {
+            if st.aborting {
+                drop(st);
+                resume_unwind(Box::new(AbortToken));
+            }
+            if st.active == Some(self.tid) {
+                return st;
+            }
+            st = self.shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Account one operation against the budget and record a signature.
+    fn admit<'a>(&self, mut st: StdGuard<'a, SchedState>, meta: u64) -> StdGuard<'a, SchedState> {
+        st.ops += 1;
+        if st.ops > st.limits.max_ops {
+            let msg = format!(
+                "operation budget exceeded ({} ops): possible livelock or an \
+                 unbounded loop in the model body",
+                st.limits.max_ops
+            );
+            self.fail(st, msg);
+        }
+        st.push_sig(meta);
+        st
+    }
+
+    /// One scheduling decision: choose the next thread among all
+    /// schedulable ones and switch to it if it is not the caller. The
+    /// caller must currently be active. Returns with the caller active
+    /// again (possibly much later in the execution).
+    fn switch_point<'a>(&self, mut st: StdGuard<'a, SchedState>) -> StdGuard<'a, SchedState> {
+        let me = self.tid;
+        let cands = st.candidates(me);
+        if cands.is_empty() {
+            let msg = format!("deadlock: no schedulable thread ({})", st.describe_block());
+            self.fail(st, msg);
+        }
+        let me_running = matches!(st.threads[me].status, Status::Runnable);
+        let budget_gone = st
+            .limits
+            .preemptions
+            .is_some_and(|b| st.preemptions_used >= b);
+        let forced = me_running && cands[0] == me && budget_gone;
+        let idx = match st.decide(cands.len(), forced) {
+            Ok(i) => i,
+            Err(msg) => self.fail(st, msg),
+        };
+        if me_running && cands[0] == me && idx != 0 {
+            st.preemptions_used += 1;
+        }
+        let next = cands[idx];
+        // Scheduling a timed condvar waiter means its timeout fires.
+        if let Status::Cv { cv, .. } = st.threads[next].status {
+            if let ObjState::Cv { waiters } = &mut st.objects[cv] {
+                waiters.retain(|&w| w != next);
+            }
+            st.threads[next].status = Status::Runnable;
+            st.threads[next].notified = false;
+        }
+        if next != me {
+            st.active = Some(next);
+            self.shared.cv.notify_all();
+            st = self.wait_active(st);
+        }
+        st
+    }
+
+    /// Resolve (or lazily assign) the per-execution id of a shim object.
+    fn obj(&self, cell: &ObjCell, make: impl FnOnce() -> ObjState) -> usize {
+        let tag = (self.shared.nonce as u32 as u64) + 1;
+        let cur = cell.0.load(Ordering::Relaxed);
+        if cur >> 32 == tag {
+            return (cur & 0xffff_ffff) as usize;
+        }
+        let mut st = self.state();
+        let id = st.objects.len();
+        st.objects.push(make());
+        cell.0.store((tag << 32) | id as u64, Ordering::Relaxed);
+        id
+    }
+
+    fn mutex_obj(&self, cell: &ObjCell) -> usize {
+        self.obj(cell, || ObjState::Lock {
+            owner: None,
+            waiters: Vec::new(),
+        })
+    }
+
+    fn cv_obj(&self, cell: &ObjCell) -> usize {
+        self.obj(cell, || ObjState::Cv {
+            waiters: Vec::new(),
+        })
+    }
+
+    fn atomic_obj(&self, cell: &ObjCell, init: u64) -> usize {
+        self.obj(cell, move || ObjState::Atomic { val: init })
+    }
+
+    /// Acquire (cooperatively) with the lock handoff protocol: if the
+    /// mutex is held, the caller blocks and is resumed *as owner* when a
+    /// release hands the lock to it.
+    fn acquire_or_block<'a>(
+        &self,
+        mut st: StdGuard<'a, SchedState>,
+        oid: usize,
+    ) -> StdGuard<'a, SchedState> {
+        let me = self.tid;
+        let held = match &mut st.objects[oid] {
+            ObjState::Lock { owner, waiters } => {
+                if owner.is_none() {
+                    *owner = Some(me);
+                    false
+                } else if *owner == Some(me) {
+                    let msg = format!("thread {me} relocked a shim mutex it already owns");
+                    self.fail(st, msg);
+                } else {
+                    waiters.push(me);
+                    true
+                }
+            }
+            _ => unreachable!("object {oid} is not a lock"),
+        };
+        if held {
+            st.threads[me].status = Status::Lock(oid);
+            st = self.switch_point(st);
+            // Handoff made us owner before scheduling us.
+            debug_assert!(matches!(
+                st.objects[oid],
+                ObjState::Lock { owner: Some(o), .. } if o == me
+            ));
+        }
+        st
+    }
+
+    /// Release a held shim mutex, handing it directly to one waiter
+    /// (which waiter is a recorded decision). Never switches threads.
+    fn release(&self, st: &mut StdGuard<'_, SchedState>, oid: usize) {
+        let me = self.tid;
+        let n_waiters = match &st.objects[oid] {
+            ObjState::Lock { owner, waiters } => {
+                debug_assert_eq!(*owner, Some(me), "unlock by non-owner");
+                waiters.len()
+            }
+            _ => unreachable!("object {oid} is not a lock"),
+        };
+        let pick = if n_waiters == 0 {
+            None
+        } else {
+            match st.decide(n_waiters, false) {
+                Ok(i) => Some(i),
+                Err(_) => Some(0), // divergence is caught at switch points
+            }
+        };
+        if let ObjState::Lock { owner, waiters } = &mut st.objects[oid] {
+            match pick {
+                None => *owner = None,
+                Some(i) => {
+                    let w = waiters.remove(i);
+                    *owner = Some(w);
+                    st.threads[w].status = Status::Runnable;
+                }
+            }
+        }
+    }
+
+    // ---- operations called by the shim types ----------------------------
+
+    /// Plain scheduling point (atomic access, yield).
+    pub(crate) fn op_point(&self, meta: u64) {
+        let st = self.state();
+        let st = self.admit(st, meta);
+        drop(self.switch_point(st));
+    }
+
+    pub(crate) fn mutex_lock(&self, cell: &ObjCell) {
+        let oid = self.mutex_obj(cell);
+        let st = self.state();
+        let st = self.admit(st, 0x100 | (oid as u64) << 16);
+        let st = self.switch_point(st);
+        drop(self.acquire_or_block(st, oid));
+    }
+
+    pub(crate) fn mutex_unlock(&self, cell: &ObjCell) {
+        let oid = self.mutex_obj(cell);
+        let mut st = self.state();
+        if st.aborting {
+            return;
+        }
+        self.release(&mut st, oid);
+    }
+
+    /// Condvar wait: release the mutex, block on the condvar, and
+    /// re-acquire after being woken. Returns `true` when the wake was a
+    /// modeled timeout rather than a notification.
+    pub(crate) fn cv_wait(&self, cv_cell: &ObjCell, mutex_cell: &ObjCell, timed: bool) -> bool {
+        let me = self.tid;
+        let cvid = self.cv_obj(cv_cell);
+        let oid = self.mutex_obj(mutex_cell);
+        let mut st = self.state();
+        st = self.admit(st, 0x200 | (cvid as u64) << 16);
+        self.release(&mut st, oid);
+        st.threads[me].status = Status::Cv { cv: cvid, timed };
+        st.threads[me].notified = false;
+        if let ObjState::Cv { waiters } = &mut st.objects[cvid] {
+            waiters.push(me);
+        }
+        st = self.switch_point(st);
+        let notified = st.threads[me].notified;
+        drop(self.acquire_or_block(st, oid));
+        !notified
+    }
+
+    pub(crate) fn cv_notify(&self, cell: &ObjCell, all: bool) {
+        let cvid = self.cv_obj(cell);
+        let mut st = self.state();
+        if st.aborting {
+            return;
+        }
+        st = self.admit(st, 0x300 | (cvid as u64) << 16);
+        let woken: Vec<usize> = if let ObjState::Cv { waiters } = &mut st.objects[cvid] {
+            if all {
+                std::mem::take(waiters)
+            } else if waiters.is_empty() {
+                Vec::new()
+            } else {
+                vec![waiters.remove(0)] // FIFO, like std on Linux
+            }
+        } else {
+            Vec::new()
+        };
+        for w in woken {
+            st.threads[w].status = Status::Runnable;
+            st.threads[w].notified = true;
+        }
+        drop(self.switch_point(st));
+    }
+
+    /// Record an atomic write's value so it contributes to state hashes.
+    pub(crate) fn atomic_point(&self, cell: &ObjCell, init: u64, written: Option<u64>) {
+        let oid = self.atomic_obj(cell, init);
+        if let Some(v) = written {
+            if let ObjState::Atomic { val } = &mut self.state().objects[oid] {
+                *val = v;
+            }
+        }
+        self.op_point(0x400 | (oid as u64) << 16);
+    }
+
+    /// Register a new model thread and return its tid. The caller must
+    /// spawn the real thread running [`model_thread`] **before** hitting
+    /// the next scheduling point (see [`Ctx::after_spawn`]): the
+    /// scheduler may activate the new tid at any decision after this.
+    pub(crate) fn spawn_thread(&self) -> usize {
+        let mut st = self.state();
+        if st.threads.len() >= st.limits.max_threads {
+            let msg = format!(
+                "model thread limit exceeded ({} threads)",
+                st.limits.max_threads
+            );
+            self.fail(st, msg);
+        }
+        let tid = st.threads.len();
+        st.threads.push(ThreadRec {
+            status: Status::Runnable,
+            notified: false,
+        });
+        tid
+    }
+
+    /// The scheduling point following a spawn, taken once the real thread
+    /// exists so activating the new tid cannot strand the run.
+    pub(crate) fn after_spawn(&self, tid: usize) {
+        self.op_point(0x500 | (tid as u64) << 16);
+    }
+
+    pub(crate) fn shared(&self) -> Arc<SchedShared> {
+        Arc::clone(&self.shared)
+    }
+
+    pub(crate) fn join(&self, target: usize) {
+        let me = self.tid;
+        let st = self.state();
+        let mut st = self.admit(st, 0x600 | (target as u64) << 16);
+        st = self.switch_point(st);
+        if st.threads[target].status != Status::Finished {
+            st.threads[me].status = Status::Join(target);
+            st = self.switch_point(st);
+            debug_assert_eq!(st.threads[target].status, Status::Finished);
+        }
+    }
+
+    /// Mark the calling model thread finished and schedule a successor.
+    fn finish(&self) {
+        let me = self.tid;
+        let mut st = self.state();
+        if st.aborting {
+            return;
+        }
+        st.threads[me].status = Status::Finished;
+        for t in st.threads.iter_mut() {
+            if t.status == Status::Join(me) {
+                t.status = Status::Runnable;
+            }
+        }
+        if st.threads.iter().all(|t| t.status == Status::Finished) {
+            st.done = true;
+            st.active = None;
+            drop(st);
+            self.shared.cv.notify_all();
+            return;
+        }
+        let cands = st.candidates(me);
+        if cands.is_empty() {
+            let msg = format!(
+                "deadlock after thread {me} finished: no schedulable thread ({})",
+                st.describe_block()
+            );
+            if st.error.is_none() {
+                st.error = Some(msg);
+            }
+            st.aborting = true;
+            drop(st);
+            self.shared.cv.notify_all();
+            return;
+        }
+        let idx = match st.decide(cands.len(), false) {
+            Ok(i) => i,
+            Err(msg) => {
+                if st.error.is_none() {
+                    st.error = Some(msg);
+                }
+                st.aborting = true;
+                drop(st);
+                self.shared.cv.notify_all();
+                return;
+            }
+        };
+        let next = cands[idx];
+        if let Status::Cv { cv, .. } = st.threads[next].status {
+            if let ObjState::Cv { waiters } = &mut st.objects[cv] {
+                waiters.retain(|&w| w != next);
+            }
+            st.threads[next].status = Status::Runnable;
+            st.threads[next].notified = false;
+        }
+        st.active = Some(next);
+        drop(st);
+        self.shared.cv.notify_all();
+    }
+}
+
+/// Trampoline every model thread (including the main closure) runs on.
+pub(crate) fn model_thread(shared: Arc<SchedShared>, tid: usize, body: impl FnOnce()) {
+    let ctx = Ctx { shared, tid };
+    CTX.with(|c| *c.borrow_mut() = Some(ctx.clone()));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let st = ctx.state();
+        drop(ctx.wait_active(st));
+        body();
+    }));
+    CTX.with(|c| *c.borrow_mut() = None);
+    match result {
+        Ok(()) => ctx.finish(),
+        Err(p) if p.is::<AbortToken>() => {}
+        Err(p) => {
+            let msg = p
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| p.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "model thread panicked".to_string());
+            let mut st = ctx.state();
+            if st.error.is_none() {
+                st.error = Some(format!("thread {tid} panicked: {msg}"));
+            }
+            st.aborting = true;
+            drop(st);
+            ctx.shared.cv.notify_all();
+        }
+    }
+}
+
+// ---- the explorer -------------------------------------------------------
+
+/// How the explorer walks the space of schedules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Bounded depth-first enumeration; every execution is a distinct
+    /// schedule. Exhaustive when it terminates without truncation.
+    Exhaustive,
+    /// Seeded uniform random walk; distinct schedules counted by hash.
+    /// For state spaces too large to exhaust.
+    Random {
+        /// SplitMix64 base seed; each iteration derives its own stream.
+        seed: u64,
+        /// Number of executions to sample.
+        iterations: usize,
+    },
+}
+
+/// Exploration limits and strategy for one [`crate::model_with`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckConfig {
+    /// Stop after this many executions even if schedules remain.
+    pub max_interleavings: usize,
+    /// Per-execution operation budget (livelock guard).
+    pub max_ops: usize,
+    /// Preemption bound (`None` = unbounded). See module docs.
+    pub preemptions: Option<usize>,
+    /// Maximum live model threads per execution.
+    pub max_threads: usize,
+    /// DFS or random walk.
+    pub strategy: Strategy,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            max_interleavings: 100_000,
+            max_ops: 50_000,
+            preemptions: None,
+            max_threads: 16,
+            strategy: Strategy::Exhaustive,
+        }
+    }
+}
+
+/// A schedule that falsified the checked property, with the failure.
+#[derive(Clone, Debug)]
+pub struct CheckError {
+    /// Deadlock description or the panicking thread's message.
+    pub message: String,
+    /// The decision indices of the failing schedule (for reproduction).
+    pub schedule: Vec<usize>,
+}
+
+/// Outcome of a model run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Executions (distinct schedules) explored.
+    pub interleavings: usize,
+    /// Distinct scheduler-visible states observed at decision points.
+    pub distinct_states: usize,
+    /// True when `max_interleavings` stopped the search early.
+    pub truncated: bool,
+    /// The first failing schedule, if any.
+    pub error: Option<CheckError>,
+}
+
+struct RunOut {
+    decisions: Vec<Decision>,
+    sigs: Vec<u64>,
+    error: Option<String>,
+}
+
+static RUN_NONCE: AtomicU64 = AtomicU64::new(0);
+
+fn run_once(
+    cfg: &CheckConfig,
+    f: Arc<dyn Fn() + Send + Sync>,
+    prefix: Vec<Decision>,
+    rng: Option<SplitMix64>,
+) -> RunOut {
+    let nonce = RUN_NONCE.fetch_add(1, Ordering::Relaxed) + 1;
+    let shared = Arc::new(SchedShared {
+        state: StdMutex::new(SchedState {
+            threads: vec![ThreadRec {
+                status: Status::Runnable,
+                notified: false,
+            }],
+            objects: Vec::new(),
+            active: Some(0),
+            prefix,
+            decisions: Vec::new(),
+            preemptions_used: 0,
+            ops: 0,
+            sigs: Vec::new(),
+            rng,
+            error: None,
+            aborting: false,
+            done: false,
+            limits: Limits {
+                max_ops: cfg.max_ops,
+                preemptions: cfg.preemptions,
+                max_threads: cfg.max_threads,
+            },
+        }),
+        cv: StdCondvar::new(),
+        nonce,
+    });
+    let s2 = Arc::clone(&shared);
+    let main = std::thread::Builder::new()
+        .name("hpa-check-main".into())
+        .spawn(move || model_thread(s2, 0, move || f()))
+        .expect("spawn model main thread");
+    {
+        let mut st = lock_poison_free(&shared.state);
+        while !st.done && !st.aborting {
+            st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    let _ = main.join();
+    let mut st = lock_poison_free(&shared.state);
+    RunOut {
+        decisions: std::mem::take(&mut st.decisions),
+        sigs: std::mem::take(&mut st.sigs),
+        error: st.error.take(),
+    }
+}
+
+pub(crate) fn explore(cfg: CheckConfig, f: Arc<dyn Fn() + Send + Sync>) -> Report {
+    let mut states: HashSet<u64> = HashSet::new();
+    let mut interleavings = 0usize;
+    let mut truncated = false;
+    let mut error = None;
+
+    let record_error = |out: &mut RunOut| {
+        out.error.take().map(|message| CheckError {
+            message,
+            schedule: out.decisions.iter().map(|d| d.index as usize).collect(),
+        })
+    };
+
+    match cfg.strategy {
+        Strategy::Random { seed, iterations } => {
+            let mut schedules: HashSet<u64> = HashSet::new();
+            for i in 0..iterations.min(cfg.max_interleavings) {
+                let rng = SplitMix64::seed_from_parts(seed, i as u64);
+                let mut out = run_once(&cfg, Arc::clone(&f), Vec::new(), Some(rng));
+                states.extend(out.sigs.iter().copied());
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for d in &out.decisions {
+                    h = (h ^ d.index as u64).wrapping_mul(0x1000_0000_01b3);
+                }
+                schedules.insert(h);
+                if let Some(e) = record_error(&mut out) {
+                    error = Some(e);
+                    break;
+                }
+            }
+            truncated = iterations > cfg.max_interleavings;
+            interleavings = schedules.len();
+        }
+        Strategy::Exhaustive => {
+            let mut prefix: Vec<Decision> = Vec::new();
+            loop {
+                let mut out = run_once(&cfg, Arc::clone(&f), prefix, None);
+                interleavings += 1;
+                states.extend(out.sigs.iter().copied());
+                if let Some(e) = record_error(&mut out) {
+                    error = Some(e);
+                    break;
+                }
+                if interleavings >= cfg.max_interleavings {
+                    truncated = true;
+                    break;
+                }
+                // Backtrack: bump the deepest free decision with an
+                // unexplored alternative; drop everything after it.
+                let mut path = out.decisions;
+                let mut advanced = false;
+                while let Some(d) = path.pop() {
+                    if !d.forced && d.index + 1 < d.n {
+                        path.push(Decision {
+                            index: d.index + 1,
+                            n: d.n,
+                            forced: false,
+                        });
+                        advanced = true;
+                        break;
+                    }
+                }
+                if !advanced {
+                    break;
+                }
+                prefix = path;
+            }
+        }
+    }
+
+    Report {
+        interleavings,
+        distinct_states: states.len(),
+        truncated,
+        error,
+    }
+}

@@ -1,0 +1,96 @@
+//! Thread shims: `spawn`/`join`/`yield_now` that register with the model
+//! scheduler inside a run and degrade to `std::thread` outside one.
+
+use crate::sched;
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// Handle to a spawned shim thread; mirrors `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    /// Model tid when spawned inside a run.
+    model_tid: Option<usize>,
+    result: Arc<StdMutex<Option<std::thread::Result<T>>>>,
+    real: std::thread::JoinHandle<()>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its closure's result.
+    /// Inside a model run this is a cooperative scheduling point; the
+    /// explorer considers every way the join can interleave.
+    pub fn join(self) -> std::thread::Result<T> {
+        match (self.model_tid, sched::current()) {
+            (Some(tid), Some(ctx)) => {
+                ctx.join(tid);
+                // The model thread has finished; the real thread may
+                // still be mid-exit, but the result slot is written
+                // before the scheduler marks it finished.
+            }
+            _ => {
+                let _ = self.real.join();
+            }
+        }
+        self.result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("joined thread left no result")
+    }
+}
+
+/// Spawn a thread. Inside a model run the new thread becomes a model
+/// thread under the cooperative scheduler; outside, this is
+/// `std::thread::spawn` with an extra result slot.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result = Arc::new(StdMutex::new(None));
+    let slot = Arc::clone(&result);
+    match sched::current() {
+        Some(ctx) => {
+            let tid = ctx.spawn_thread();
+            let shared = ctx.shared();
+            let real = std::thread::Builder::new()
+                .name(format!("hpa-check-{tid}"))
+                .spawn(move || {
+                    sched::model_thread(shared, tid, move || {
+                        // The trampoline's catch_unwind turns a panic in
+                        // `f` into a model failure, so the slot is only
+                        // ever written with `Ok`.
+                        let v = f();
+                        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(v));
+                    })
+                })
+                .expect("spawn model thread");
+            // Only now that the real thread exists may the scheduler
+            // activate the new tid.
+            ctx.after_spawn(tid);
+            JoinHandle {
+                model_tid: Some(tid),
+                result,
+                real,
+            }
+        }
+        None => {
+            let real = std::thread::spawn(move || {
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            });
+            JoinHandle {
+                model_tid: None,
+                result,
+                real,
+            }
+        }
+    }
+}
+
+/// Voluntarily offer a scheduling point. Inside a model run the explorer
+/// may switch to any schedulable thread here; outside it is
+/// `std::thread::yield_now`.
+pub fn yield_now() {
+    match sched::current() {
+        Some(ctx) => ctx.op_point(0x700),
+        None => std::thread::yield_now(),
+    }
+}

@@ -1,0 +1,238 @@
+//! Linearizability property test (feature-gated): drive seeded-random op
+//! sequences through the `hpa_io::channel` and `hpa_exec::deque` shims
+//! under the model checker, record each thread's observed results, and
+//! assert — for every explored interleaving — that some sequential
+//! execution of a single-threaded reference model explains them.
+//!
+//! The witness search interleaves the two recorded op/result histories
+//! against the reference (channel: FIFO queue; deque: owner-LIFO /
+//! stealer-FIFO `VecDeque`), preserving each thread's program order —
+//! which is exactly linearizability for complete, non-overlapping-free
+//! histories like these (each shim op holds one lock, so its
+//! linearization point is inside the call).
+//!
+//! Run with `cargo test -p hpa-check --features model-check`.
+#![cfg(feature = "model-check")]
+
+use hpa_check as check;
+use hpa_exec::deque::Worker;
+use hpa_io::channel::bounded;
+use hpa_rng::SplitMix64;
+use std::collections::VecDeque;
+
+// ---- deque -------------------------------------------------------------
+
+/// Owner-thread ops (push/pop) with their observed results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DequeOp {
+    Push(u64),
+    /// `pop()` with the value it returned.
+    Pop(Option<u64>),
+}
+
+/// Apply one owner op to the reference (LIFO back of a `VecDeque`);
+/// `None` = the op's observed result contradicts the reference state.
+fn ref_owner(state: &mut VecDeque<u64>, op: DequeOp) -> bool {
+    match op {
+        DequeOp::Push(v) => {
+            state.push_back(v);
+            true
+        }
+        DequeOp::Pop(observed) => state.pop_back() == observed,
+    }
+}
+
+/// Apply one stealer op (FIFO front).
+fn ref_steal(state: &mut VecDeque<u64>, observed: Option<u64>) -> bool {
+    state.pop_front() == observed
+}
+
+/// Does some interleaving of `owner[i..]` and `steals[j..]` replay the
+/// observed results against the reference `state`? Plain DFS; histories
+/// are short (≤ 6 + 4 ops) so no memoization is needed.
+fn deque_witness(state: &VecDeque<u64>, owner: &[DequeOp], steals: &[Option<u64>]) -> bool {
+    if owner.is_empty() && steals.is_empty() {
+        return true;
+    }
+    if let Some((&op, rest)) = owner.split_first() {
+        let mut s = state.clone();
+        if ref_owner(&mut s, op) && deque_witness(&s, rest, steals) {
+            return true;
+        }
+    }
+    if let Some((&observed, rest)) = steals.split_first() {
+        let mut s = state.clone();
+        if ref_steal(&mut s, observed) && deque_witness(&s, owner, rest) {
+            return true;
+        }
+    }
+    false
+}
+
+#[test]
+fn random_deque_histories_are_linearizable() {
+    for seed in 0u64..4 {
+        let report = check::model_with(
+            check::CheckConfig {
+                max_interleavings: 20_000,
+                ..check::CheckConfig::default()
+            },
+            move || {
+                // Deterministic per-seed op sequence; the *interleaving*
+                // is what the explorer varies.
+                let mut rng = SplitMix64::seed_from_u64(0xDEC0 ^ seed);
+                let w = Worker::new_lifo();
+                let s = w.stealer();
+                let n_steals = 2 + (rng.next_u64() % 2) as usize;
+                let stealer = check::thread::spawn(move || {
+                    (0..n_steals).map(|_| s.steal()).collect::<Vec<_>>()
+                });
+                let mut owner_hist = Vec::new();
+                let mut next_val = 1u64;
+                for _ in 0..5 {
+                    if rng.gen_ratio(3, 5) {
+                        w.push(next_val);
+                        owner_hist.push(DequeOp::Push(next_val));
+                        next_val += 1;
+                    } else {
+                        owner_hist.push(DequeOp::Pop(w.pop()));
+                    }
+                }
+                let steal_hist = stealer.join().unwrap();
+                assert!(
+                    deque_witness(&VecDeque::new(), &owner_hist, &steal_hist),
+                    "no sequential witness for owner {owner_hist:?} / steals {steal_hist:?}"
+                );
+            },
+        );
+        assert!(report.error.is_none(), "seed {seed}: {report:?}");
+        assert!(report.interleavings >= 2, "seed {seed}: {report:?}");
+    }
+}
+
+// ---- channel -----------------------------------------------------------
+
+/// Reference bounded-FIFO: sends that the real thread observed as `Ok`
+/// must fit capacity at their linearization point; `try_recv` results
+/// must match the queue front.
+#[derive(Debug, Clone, Default)]
+struct RefChannel {
+    queue: VecDeque<u64>,
+}
+
+impl RefChannel {
+    fn send(&mut self, cap: usize, v: u64) -> bool {
+        if self.queue.len() < cap {
+            self.queue.push_back(v);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn try_recv(&mut self, observed: Option<u64>) -> bool {
+        self.queue.pop_front() == observed
+    }
+}
+
+/// Witness search over sender history (values sent, all observed `Ok`)
+/// and receiver history (`try_recv` results).
+fn channel_witness(state: &RefChannel, cap: usize, sends: &[u64], recvs: &[Option<u64>]) -> bool {
+    if sends.is_empty() && recvs.is_empty() {
+        return true;
+    }
+    if let Some((&v, rest)) = sends.split_first() {
+        let mut s = state.clone();
+        if s.send(cap, v) && channel_witness(&s, cap, rest, recvs) {
+            return true;
+        }
+    }
+    if let Some((&observed, rest)) = recvs.split_first() {
+        let mut s = state.clone();
+        if s.try_recv(observed) && channel_witness(&s, cap, sends, rest) {
+            return true;
+        }
+    }
+    false
+}
+
+#[test]
+fn random_channel_histories_are_linearizable() {
+    for seed in 0u64..4 {
+        let report = check::model_with(
+            check::CheckConfig {
+                max_interleavings: 20_000,
+                ..check::CheckConfig::default()
+            },
+            move || {
+                let mut rng = SplitMix64::seed_from_u64(0xC4A7 ^ seed);
+                const CAP: usize = 2;
+                let (tx, rx) = bounded(CAP);
+                // Sender stays within capacity so blocking sends always
+                // complete (the receiver makes no progress guarantees).
+                let n_sends = 1 + (rng.next_u64() % 2) as usize;
+                let sends: Vec<u64> = (0..n_sends).map(|i| 100 + i as u64).collect();
+                let sent = sends.clone();
+                let producer = check::thread::spawn(move || {
+                    for v in sent {
+                        tx.send(v).unwrap();
+                    }
+                });
+                let n_recvs = 1 + (rng.next_u64() % 3) as usize;
+                let recv_hist: Vec<Option<u64>> = (0..n_recvs).map(|_| rx.try_recv()).collect();
+                producer.join().unwrap();
+                assert!(
+                    channel_witness(&RefChannel::default(), CAP, &sends, &recv_hist),
+                    "no sequential witness for sends {sends:?} / recvs {recv_hist:?}"
+                );
+            },
+        );
+        assert!(report.error.is_none(), "seed {seed}: {report:?}");
+        assert!(report.interleavings >= 2, "seed {seed}: {report:?}");
+    }
+}
+
+/// The witness search itself must reject impossible histories — guards
+/// against the property passing vacuously.
+#[test]
+fn witness_search_rejects_impossible_histories() {
+    // Deque: pop observes a value that was never pushed.
+    assert!(!deque_witness(
+        &VecDeque::new(),
+        &[DequeOp::Push(1), DequeOp::Pop(Some(9))],
+        &[],
+    ));
+    // Deque: both the pop and the steal claim the only item.
+    assert!(!deque_witness(
+        &VecDeque::new(),
+        &[DequeOp::Push(1), DequeOp::Pop(Some(1))],
+        &[Some(1)],
+    ));
+    // Deque: a failed steal ordered before the push is a valid witness.
+    assert!(deque_witness(
+        &VecDeque::new(),
+        &[DequeOp::Push(1)],
+        &[None, Some(1)],
+    ));
+    // Deque: the item vanished — owner's pop (after its push) saw
+    // nothing and the steal saw nothing either.
+    assert!(!deque_witness(
+        &VecDeque::new(),
+        &[DequeOp::Push(1), DequeOp::Pop(None)],
+        &[None],
+    ));
+    // Channel: a received value that was never sent.
+    assert!(!channel_witness(
+        &RefChannel::default(),
+        2,
+        &[100],
+        &[Some(101)],
+    ));
+    // Channel: FIFO violation.
+    assert!(!channel_witness(
+        &RefChannel::default(),
+        2,
+        &[100, 101],
+        &[Some(101), Some(100)],
+    ));
+}

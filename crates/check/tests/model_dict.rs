@@ -1,0 +1,80 @@
+//! Model-check suite for `hpa_dict::sharded` — the sharded dictionary's
+//! cross-thread statistics counters and the scatter/merge pattern the
+//! TF/IDF word-count phase uses.
+//!
+//! Run with `cargo test -p hpa-check --features model-check`.
+#![cfg(feature = "model-check")]
+
+use hpa_check as check;
+use hpa_dict::{DictKind, Dictionary, ShardedDict};
+use std::sync::Arc;
+
+/// Concurrent readers: `get` bumps the per-shard lookup counter through
+/// a shared reference. Two reader threads plus the main thread must
+/// never lose a count, and reads must see the pre-inserted values, in
+/// every interleaving of the (shimmed) atomic ops.
+#[test]
+fn concurrent_lookups_never_lose_a_count() {
+    let report = check::model_with(
+        check::CheckConfig {
+            max_interleavings: 30_000,
+            ..check::CheckConfig::default()
+        },
+        || {
+            let mut d = ShardedDict::new(DictKind::BTree, 2);
+            d.add("alpha", 3);
+            d.add("beta", 5);
+            let d = Arc::new(d);
+            let readers: Vec<_> = (0..2)
+                .map(|_| {
+                    let d = Arc::clone(&d);
+                    check::thread::spawn(move || {
+                        assert_eq!(d.get("alpha"), Some(3));
+                        assert_eq!(d.get("beta"), Some(5));
+                    })
+                })
+                .collect();
+            assert_eq!(d.get("alpha"), Some(3));
+            for r in readers {
+                r.join().unwrap();
+            }
+            let lookups: u64 = d.shard_stats().iter().map(|(_, l)| l).sum();
+            assert_eq!(lookups, 5, "every lookup must be counted exactly once");
+        },
+    );
+    assert!(report.error.is_none(), "{report:?}");
+    assert!(report.interleavings >= 2, "{report:?}");
+}
+
+/// The word-count phase's scatter/merge: worker threads build private
+/// sharded dictionaries (their counter bumps are shim atomics), the main
+/// thread merges them. Values and absorbed statistics must be exact in
+/// every interleaving of the workers.
+#[test]
+fn parallel_build_then_merge_is_exact() {
+    let report = check::model(|| {
+        let builders: Vec<_> = (0..2)
+            .map(|t| {
+                check::thread::spawn(move || {
+                    let mut d = ShardedDict::new(DictKind::BTree, 2);
+                    d.add("shared", 1);
+                    d.add(if t == 0 { "only-a" } else { "only-b" }, 10);
+                    d
+                })
+            })
+            .collect();
+        let mut merged = ShardedDict::new(DictKind::BTree, 2);
+        for b in builders {
+            let part = b.join().unwrap();
+            merged.merge_from(&part);
+        }
+        assert_eq!(merged.get("shared"), Some(2));
+        assert_eq!(merged.get("only-a"), Some(10));
+        assert_eq!(merged.get("only-b"), Some(10));
+        let inserts: u64 = merged.shard_stats().iter().map(|(i, _)| i).sum();
+        // 2 adds per builder, absorbed by merge; merged's own `get`s
+        // above count as lookups, not inserts.
+        assert_eq!(inserts, 4, "merge must absorb insert counts exactly once");
+    });
+    assert!(report.error.is_none(), "{report:?}");
+}

@@ -1,0 +1,218 @@
+//! Model-check suite for `hpa_exec::sync` patterns — the named regression
+//! schedules that are hardest to hit with stress testing: missed condvar
+//! wakeups. Each buggy variant is written exactly as the bug appeared (or
+//! could appear) in the substrate and must be *caught* by the checker; the
+//! corrected protocol must pass every interleaving.
+//!
+//! Run with `cargo test -p hpa-check --features model-check`.
+#![cfg(feature = "model-check")]
+
+use hpa_check as check;
+use hpa_check::sync::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// Regression for the `WorkStealingPool` latch bug (fixed in this PR):
+/// `Latch::count_down` notified the latch's own condvar, but
+/// `run_batch`'s helper loop waited on the pool-wide `idle_cv` — a
+/// different condvar — so the completion wakeup never landed and the
+/// batch only finished thanks to a `wait_for` timeout poll. With the
+/// timeout removed (as an untimed wait, the honest encoding of the
+/// protocol) the checker reports the lost wakeup as a deadlock.
+#[test]
+fn latch_waiter_on_wrong_condvar_deadlocks() {
+    struct BuggyLatch {
+        remaining: Mutex<usize>,
+        cv: Condvar,      // what count_down notifies
+        idle_cv: Condvar, // what the waiter actually waits on
+    }
+    let report = check::model_with(check::CheckConfig::default(), || {
+        let latch = Arc::new(BuggyLatch {
+            remaining: Mutex::new(1),
+            cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+        });
+        let l2 = Arc::clone(&latch);
+        let worker = check::thread::spawn(move || {
+            // count_down
+            let mut g = l2.remaining.lock();
+            *g -= 1;
+            l2.cv.notify_all();
+        });
+        {
+            // run_batch's idle branch, pre-fix: waits on the *other* cv.
+            let mut g = latch.remaining.lock();
+            while *g != 0 {
+                latch.idle_cv.wait(&mut g);
+            }
+        }
+        worker.join().unwrap();
+    });
+    let err = report.error.expect("the wrong-condvar wait must deadlock");
+    assert!(err.message.contains("deadlock"), "{}", err.message);
+    assert!(
+        !err.schedule.is_empty(),
+        "failing schedule must be reported"
+    );
+}
+
+/// The corrected latch protocol (what `run_batch` does now): waiter and
+/// `count_down` use the same mutex/condvar pair and the waiter re-checks
+/// the predicate under the lock. No interleaving may deadlock.
+#[test]
+fn latch_fixed_protocol_never_misses_wakeup() {
+    let report = check::model(|| {
+        let latch = Arc::new((Mutex::new(2usize), Condvar::new()));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let l = Arc::clone(&latch);
+                check::thread::spawn(move || {
+                    let (m, cv) = &*l;
+                    let mut g = m.lock();
+                    *g -= 1;
+                    if *g == 0 {
+                        cv.notify_all();
+                    }
+                })
+            })
+            .collect();
+        {
+            let (m, cv) = &*latch;
+            let mut g = m.lock();
+            while *g != 0 {
+                cv.wait(&mut g);
+            }
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+    });
+    assert!(report.interleavings >= 2, "{report:?}");
+}
+
+/// Classic missed wakeup: the waiter tests the flag *outside* the lock
+/// and only then blocks. If the notifier sets the flag and notifies in
+/// the window between the check and the wait, the notification is lost
+/// and the waiter sleeps forever. The checker must find that window.
+#[test]
+fn flag_check_outside_lock_loses_wakeup() {
+    let report = check::model_with(check::CheckConfig::default(), || {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&shared);
+        let setter = check::thread::spawn(move || {
+            let (m, cv) = &*s2;
+            *m.lock() = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*shared;
+        let ready = { *m.lock() }; // guard dropped: flag read outside the wait's critical section
+        if !ready {
+            let mut g = m.lock();
+            // Seeded bug: no re-check of the predicate under this lock.
+            cv.wait(&mut g);
+        }
+        setter.join().unwrap();
+    });
+    let err = report
+        .error
+        .expect("the check-then-wait race must deadlock");
+    assert!(err.message.contains("deadlock"), "{}", err.message);
+}
+
+/// The sound version of the same handshake — predicate loop held under
+/// the lock from check to wait — passes every interleaving.
+#[test]
+fn predicate_loop_under_lock_is_sound() {
+    let report = check::model(|| {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&shared);
+        let setter = check::thread::spawn(move || {
+            let (m, cv) = &*s2;
+            *m.lock() = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*shared;
+        let mut g = m.lock();
+        while !*g {
+            cv.wait(&mut g);
+        }
+        drop(g);
+        setter.join().unwrap();
+    });
+    assert!(report.error.is_none(), "{report:?}");
+    assert!(report.interleavings >= 2, "{report:?}");
+}
+
+/// `notify_one` with two waiters parked on different predicates: a
+/// single wakeup can land on the "wrong" waiter, which re-checks its
+/// predicate and sleeps again — the intended waiter then starves. The
+/// checker must surface this single-wakeup starvation; `notify_all`
+/// (below) fixes it.
+#[test]
+fn notify_one_with_mixed_predicates_starves() {
+    let report = check::model_with(check::CheckConfig::default(), || {
+        // state: (a_ready, b_ready)
+        let shared = Arc::new((Mutex::new((false, false)), Condvar::new()));
+        let sa = Arc::clone(&shared);
+        let ta = check::thread::spawn(move || {
+            let (m, cv) = &*sa;
+            let mut g = m.lock();
+            while !g.0 {
+                cv.wait(&mut g);
+            }
+        });
+        let sb = Arc::clone(&shared);
+        let tb = check::thread::spawn(move || {
+            let (m, cv) = &*sb;
+            let mut g = m.lock();
+            while !g.1 {
+                cv.wait(&mut g);
+            }
+        });
+        {
+            let (m, cv) = &*shared;
+            let mut g = m.lock();
+            g.0 = true;
+            g.1 = true;
+            // Seeded bug: one notification for two distinct predicates.
+            cv.notify_one();
+        }
+        ta.join().unwrap();
+        tb.join().unwrap();
+    });
+    let err = report.error.expect("single wakeup must strand one waiter");
+    assert!(err.message.contains("deadlock"), "{}", err.message);
+}
+
+/// Same scenario with `notify_all`: no interleaving deadlocks.
+#[test]
+fn notify_all_with_mixed_predicates_is_sound() {
+    let report = check::model(|| {
+        let shared = Arc::new((Mutex::new((false, false)), Condvar::new()));
+        let sa = Arc::clone(&shared);
+        let ta = check::thread::spawn(move || {
+            let (m, cv) = &*sa;
+            let mut g = m.lock();
+            while !g.0 {
+                cv.wait(&mut g);
+            }
+        });
+        let sb = Arc::clone(&shared);
+        let tb = check::thread::spawn(move || {
+            let (m, cv) = &*sb;
+            let mut g = m.lock();
+            while !g.1 {
+                cv.wait(&mut g);
+            }
+        });
+        {
+            let (m, cv) = &*shared;
+            let mut g = m.lock();
+            g.0 = true;
+            g.1 = true;
+            cv.notify_all();
+        }
+        ta.join().unwrap();
+        tb.join().unwrap();
+    });
+    assert!(report.error.is_none(), "{report:?}");
+}

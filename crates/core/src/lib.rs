@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! Operator and workflow framework — the paper's primary contribution.
 //!
 //! §3.3 of the paper: analytics workflows compose operators, and the

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! Synthetic text corpora calibrated to the paper's data sets.
 //!
 //! The paper evaluates on two document collections (Table 1):

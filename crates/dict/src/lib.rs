@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! Dictionary substrate: the data structures of the paper's Figure 4.
 //!
 //! TF/IDF keeps two kinds of dictionaries: per-document term-frequency
@@ -18,6 +19,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+pub mod atomic;
 pub mod costmodel;
 mod mem;
 pub mod sharded;

@@ -9,9 +9,9 @@
 //! challenges" the paper's conclusion gestures at (structures whose best
 //! configuration depends on the degree of parallelism).
 
+use crate::atomic::{AtomicU64, Ordering::Relaxed};
 use crate::{AnyDict, DictKind, Dictionary};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 /// Per-shard activity counters (relaxed atomics so `get` can count
 /// through a shared reference). Cloning snapshots the current values.

@@ -9,6 +9,12 @@
 //! lock (~20 ns) is noise. The scheduling discipline is the one that
 //! matters and is preserved exactly: owners pop LIFO (cache-warm,
 //! depth-first), thieves steal FIFO (oldest, biggest-work-first).
+//!
+//! All synchronization goes through the `crate::sync` facade, so under
+//! the `model-check` feature every deque operation becomes a scheduling
+//! point of the `hpa-check` model checker; the steal-vs-pop races
+//! (including the len==1 endgame) are exhaustively explored in
+//! `crates/check/tests/model_deque.rs`.
 
 use crate::sync::Mutex;
 use std::collections::VecDeque;

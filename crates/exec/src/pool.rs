@@ -246,11 +246,18 @@ impl WorkStealingPool {
                 let _span = hpa_trace::span!("pool", "task");
                 task();
             } else {
-                let mut guard = self.shared.idle_mutex.lock();
+                // Block on the *latch's* condvar — the one `count_down`
+                // notifies. (An earlier version waited on `idle_cv` here,
+                // so the final count_down's wakeup never landed and batch
+                // completion rode on the wait timeout; found by the
+                // hpa-check model suite, see crates/check/tests/
+                // model_sync.rs::latch_waiter_on_wrong_condvar_deadlocks.)
+                // `count_down` takes `latch.mutex` before notifying, so
+                // re-checking `done()` under that lock closes the
+                // missed-wakeup window and no timeout is needed.
+                let mut guard = latch.mutex.lock();
                 if !latch.done() {
-                    self.shared
-                        .idle_cv
-                        .wait_for(&mut guard, std::time::Duration::from_millis(1));
+                    latch.cv.wait(&mut guard);
                 }
             }
         }
@@ -261,6 +268,14 @@ impl WorkStealingPool {
     }
 }
 
+/// Erase a scoped task's lifetime so it can cross into worker threads.
+///
+/// SAFETY: callers must guarantee the closure — and every borrow it
+/// captures — outlives its execution. `run_batch` upholds this by not
+/// returning until the completion latch (decremented exactly once per
+/// task, even on panic, via `catch_unwind`) reaches zero; the fat-pointer
+/// transmute itself only rewrites the lifetime parameter, which has no
+/// runtime representation.
 unsafe fn erase_lifetime<'scope>(
     task: Box<dyn FnOnce() + Send + 'scope>,
 ) -> Box<dyn FnOnce() + Send + 'static> {

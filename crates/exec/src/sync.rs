@@ -1,4 +1,5 @@
-//! Poison-free `Mutex`/`Condvar` wrappers over `std::sync`.
+//! Poison-free `Mutex`/`Condvar` wrappers over `std::sync` — and the
+//! workspace's **model-check facade**.
 //!
 //! The workspace builds offline, so it cannot depend on `parking_lot`;
 //! these wrappers give the rest of the workspace the same ergonomics:
@@ -7,116 +8,149 @@
 //! no-poisoning semantics, which is safe here because every protected
 //! structure stays valid at any yield point), and `Condvar::wait_for`
 //! re-acquires through a `&mut` guard instead of consuming it.
+//!
+//! ## Verification facade
+//!
+//! This module is the single point where the substrate chooses its
+//! primitives. By default (release builds, ordinary test builds) the
+//! in-tree `std::sync` wrappers below are used, with zero overhead over
+//! raw std. Under `cfg(any(hpa_check, feature = "model-check"))` the
+//! same names re-export the `hpa_check` shim types instead, which route
+//! every lock/wait/notify/atomic access through a deterministic
+//! cooperative scheduler so `hpa_check::model()` can explore thread
+//! interleavings (see `crates/check`). Everything downstream
+//! (`exec::deque`, `exec::pool`, `io::channel`) is agnostic: it imports
+//! from here and never from `std::sync` directly — a rule enforced by
+//! the `hpa-check` lint binary.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
-
-/// A mutual-exclusion lock whose `lock()` never returns `Err`.
-#[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
-
-/// Guard returned by [`Mutex::lock`]. Derefs to the protected value.
-pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
-
-impl<T> Mutex<T> {
-    /// Create a new mutex.
-    pub const fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
-    }
-
-    /// Consume the mutex, returning the protected value.
-    pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
-    }
+/// Atomic types facade: `std::sync::atomic` by default, the `hpa_check`
+/// scheduling-point shims under model checking. `Ordering` is always the
+/// std enum.
+pub mod atomic {
+    #[cfg(any(hpa_check, feature = "model-check"))]
+    pub use hpa_check::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+    pub use std::sync::atomic::Ordering;
+    #[cfg(not(any(hpa_check, feature = "model-check")))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
 }
 
-impl<T: ?Sized> Mutex<T> {
-    /// Acquire the lock, ignoring poisoning.
-    pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
+#[cfg(any(hpa_check, feature = "model-check"))]
+pub use hpa_check::sync::{Condvar, Mutex, MutexGuard};
+#[cfg(not(any(hpa_check, feature = "model-check")))]
+pub use imp::{Condvar, Mutex, MutexGuard};
+
+#[cfg(not(any(hpa_check, feature = "model-check")))]
+mod imp {
+    use std::time::Duration;
+
+    /// A mutual-exclusion lock whose `lock()` never returns `Err`.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+    /// Guard returned by [`Mutex::lock`]. Derefs to the protected value.
+    pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
+
+    impl<T> Mutex<T> {
+        /// Create a new mutex.
+        pub const fn new(value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        /// Consume the mutex, returning the protected value.
+        pub fn into_inner(self) -> T {
+            self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        }
     }
 
-    /// Mutable access without locking (requires exclusive ownership).
-    pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
-    }
-}
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquire the lock, ignoring poisoning.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
+        }
 
-impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
-    type Target = T;
-    fn deref(&self) -> &T {
-        self.0.as_deref().expect("guard holds the lock")
-    }
-}
-
-impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
-    fn deref_mut(&mut self) -> &mut T {
-        self.0.as_deref_mut().expect("guard holds the lock")
-    }
-}
-
-/// A condition variable paired with [`Mutex`].
-#[derive(Debug, Default)]
-pub struct Condvar(std::sync::Condvar);
-
-impl Condvar {
-    /// Create a new condition variable.
-    pub const fn new() -> Self {
-        Condvar(std::sync::Condvar::new())
+        /// Mutable access without locking (requires exclusive ownership).
+        pub fn get_mut(&mut self) -> &mut T {
+            self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        }
     }
 
-    /// Wake one waiter.
-    pub fn notify_one(&self) {
-        self.0.notify_one();
+    impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.0.as_deref().expect("guard holds the lock")
+        }
     }
 
-    /// Wake all waiters.
-    pub fn notify_all(&self) {
-        self.0.notify_all();
+    impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.0.as_deref_mut().expect("guard holds the lock")
+        }
     }
 
-    /// Block until notified, releasing the guard's lock while waiting and
-    /// re-acquiring it before returning.
-    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
-        let inner = guard.0.take().expect("guard holds the lock");
-        let inner = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
-        guard.0 = Some(inner);
-    }
+    /// A condition variable paired with [`Mutex`].
+    #[derive(Debug, Default)]
+    pub struct Condvar(std::sync::Condvar);
 
-    /// Block until notified or `timeout` elapses. Returns `true` when the
-    /// wait timed out.
-    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
-        let inner = guard.0.take().expect("guard holds the lock");
-        let (inner, result) = self
-            .0
-            .wait_timeout(inner, timeout)
-            .unwrap_or_else(|e| e.into_inner());
-        guard.0 = Some(inner);
-        result.timed_out()
+    impl Condvar {
+        /// Create a new condition variable.
+        pub const fn new() -> Self {
+            Condvar(std::sync::Condvar::new())
+        }
+
+        /// Wake one waiter.
+        pub fn notify_one(&self) {
+            self.0.notify_one();
+        }
+
+        /// Wake all waiters.
+        pub fn notify_all(&self) {
+            self.0.notify_all();
+        }
+
+        /// Block until notified, releasing the guard's lock while waiting
+        /// and re-acquiring it before returning.
+        pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+            let inner = guard.0.take().expect("guard holds the lock");
+            let inner = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
+            guard.0 = Some(inner);
+        }
+
+        /// Block until notified or `timeout` elapses. Returns `true` when
+        /// the wait timed out.
+        pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+            let inner = guard.0.take().expect("guard holds the lock");
+            let (inner, result) = self
+                .0
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            guard.0 = Some(inner);
+            result.timed_out()
+        }
     }
 }
 
 /// Shared monotonically-increasing counter (convenience for stats that
-/// several threads bump and one thread reads).
+/// several threads bump and one thread reads). Built over the facade
+/// atomics so it participates in model checking too.
 #[derive(Debug, Default)]
-pub struct Counter(AtomicU64);
+pub struct Counter(atomic::AtomicU64);
 
 impl Counter {
     /// Zero-initialised counter.
     pub const fn new() -> Self {
-        Counter(AtomicU64::new(0))
+        Counter(atomic::AtomicU64::new(0))
     }
 
     /// Add `n` (relaxed; totals only, no ordering implied).
     #[inline]
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.0.fetch_add(n, atomic::Ordering::Relaxed);
     }
 
     /// Current value (relaxed).
     #[inline]
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(atomic::Ordering::Relaxed)
     }
 }
 
@@ -124,7 +158,11 @@ impl Counter {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use std::time::Instant;
+    use std::time::{Duration, Instant};
+
+    // With `--features model-check` these same tests run against the
+    // hpa-check shim types in fallback mode, doubling as conformance
+    // tests for the shims' std-equivalent behavior.
 
     #[test]
     fn lock_gives_exclusive_mutable_access() {

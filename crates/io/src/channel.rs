@@ -6,6 +6,12 @@
 //! operations per second — far below where a lock-based queue becomes a
 //! bottleneck. Senders block while the queue is full, the receiver blocks
 //! while it is empty; dropping either side wakes and releases the other.
+//!
+//! Synchronization comes from the `hpa_exec::sync` facade, so under the
+//! `model-check` feature the blocking/close protocol runs on `hpa-check`
+//! shims and is exhaustively explored — including both
+//! close-while-blocked directions — in
+//! `crates/check/tests/model_channel.rs`.
 
 use hpa_exec::sync::{Condvar, Mutex};
 use std::collections::VecDeque;

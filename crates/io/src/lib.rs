@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! Parallel input substrate.
 //!
 //! §3.2 of the paper: a CPU-bound operator can also use intra-node

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! K-means clustering on sparse document vectors.
 //!
 //! The paper's numeric operator (§3.1): Lloyd's algorithm over normalized

@@ -42,7 +42,14 @@ static ACTIVE: AtomicUsize = AtomicUsize::new(0);
 /// process-wide allocation counters.
 pub struct CountingAllocator;
 
+// SAFETY: every method delegates verbatim to `System`, which satisfies
+// the `GlobalAlloc` contract (layout-correct blocks, no spurious
+// failure); the counter updates are relaxed atomic ops on `static`s,
+// which cannot allocate, unwind, or touch the returned block, so the
+// contract `System` upholds passes through unchanged.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller guarantees a valid non-zero-size `layout`, forwarded
+    // unchanged to `System.alloc`, which requires exactly that.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc(layout);
         if !p.is_null() {
@@ -51,11 +58,14 @@ unsafe impl GlobalAlloc for CountingAllocator {
         p
     }
 
+    // SAFETY: caller guarantees `ptr` came from this allocator with this
+    // `layout`; since alloc delegates to `System`, so may dealloc.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout);
         record_dealloc(layout.size());
     }
 
+    // SAFETY: same contract as `alloc`, forwarded to `System.alloc_zeroed`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc_zeroed(layout);
         if !p.is_null() {
@@ -64,6 +74,8 @@ unsafe impl GlobalAlloc for CountingAllocator {
         p
     }
 
+    // SAFETY: caller guarantees `ptr`/`layout` describe a live block from
+    // this allocator and `new_size` is non-zero; forwarded to `System`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let p = System.realloc(ptr, layout, new_size);
         if !p.is_null() {

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! Deterministic pseudo-random numbers without external dependencies.
 //!
 //! The workspace must build and test offline, so it cannot depend on the

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! Sparse vector algebra.
 //!
 //! The paper's first key optimization for K-means is "using sparse vectors

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! The TF/IDF operator.
 //!
 //! Mirrors the paper's two-phase structure (§3.2):

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! Workspace-wide span tracing with Chrome trace-event export.
 //!
 //! The paper's argument rests on *measured* per-phase times and

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # hpa — High-Performance Analytics
 //!
 //! Facade crate for the HPA workspace, a from-scratch Rust reproduction of
