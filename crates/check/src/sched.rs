@@ -426,7 +426,27 @@ impl Ctx {
         } else {
             match st.decide(n_waiters, false) {
                 Ok(i) => Some(i),
-                Err(_) => Some(0), // divergence is caught at switch points
+                Err(msg) => {
+                    // Replay divergence: record it as the run's error and
+                    // let every thread unwind at its next scheduling point.
+                    // Unwinding *here* is not an option — release() runs
+                    // inside MutexGuard::drop, and a panic from a drop
+                    // during an unrelated unwind aborts the process. Push a
+                    // synthetic forced decision so the decision stream stays
+                    // aligned for the remainder of this doomed execution
+                    // (decide() does not push on error).
+                    if st.error.is_none() {
+                        st.error = Some(msg);
+                    }
+                    st.aborting = true;
+                    st.decisions.push(Decision {
+                        index: 0,
+                        n: n_waiters as u32,
+                        forced: true,
+                    });
+                    self.shared.cv.notify_all();
+                    Some(0)
+                }
             }
         };
         if let ObjState::Lock { owner, waiters } = &mut st.objects[oid] {
@@ -513,15 +533,26 @@ impl Ctx {
         drop(self.switch_point(st));
     }
 
-    /// Record an atomic write's value so it contributes to state hashes.
-    pub(crate) fn atomic_point(&self, cell: &ObjCell, init: u64, written: Option<u64>) {
-        let oid = self.atomic_obj(cell, init);
-        if let Some(v) = written {
-            if let ObjState::Atomic { val } = &mut self.state().objects[oid] {
-                *val = v;
-            }
-        }
+    /// Scheduling point taken *before* an atomic access. Returns with the
+    /// caller as the only runnable thread — every other model thread is
+    /// parked until the caller's next scheduling point — so the real
+    /// operation the shim performs next, plus the [`Ctx::atomic_post`]
+    /// value recording, is atomic with respect to the model. Returns the
+    /// object id to pass to `atomic_post`.
+    pub(crate) fn atomic_pre(&self, cell: &ObjCell, current: u64) -> usize {
+        let oid = self.atomic_obj(cell, current);
         self.op_point(0x400 | (oid as u64) << 16);
+        oid
+    }
+
+    /// Record the value the operation actually left in the atomic, so the
+    /// next decision point's state signature hashes the true post-op value
+    /// (an earlier version recorded a value predicted before the switch
+    /// point, which another thread's interleaving could make stale).
+    pub(crate) fn atomic_post(&self, oid: usize, value: u64) {
+        if let ObjState::Atomic { val } = &mut self.state().objects[oid] {
+            *val = value;
+        }
     }
 
     /// Register a new model thread and return its tid. The caller must

@@ -230,32 +230,40 @@ pub mod atomic {
                     }
                 }
 
-                fn point(&self, written: Option<$prim>) {
-                    if let Some(ctx) = sched::current() {
-                        ctx.atomic_point(
-                            &self.obj,
-                            self.inner.load(Ordering::SeqCst) as u64,
-                            written.map(|v| v as u64),
-                        );
+                /// Run the real operation through the model: take one
+                /// scheduling point *before* it, execute it while the
+                /// caller is the only runnable thread, then record the
+                /// actual post-op value into the scheduler's state (used
+                /// for state signatures). Recording after the op — rather
+                /// than predicting the result before the switch point —
+                /// keeps the recorded value correct even when another
+                /// thread interleaves at the scheduling point.
+                fn shim_op<R>(&self, op: impl FnOnce() -> R) -> R {
+                    match sched::current() {
+                        Some(ctx) => {
+                            let oid = ctx
+                                .atomic_pre(&self.obj, self.inner.load(Ordering::SeqCst) as u64);
+                            let out = op();
+                            ctx.atomic_post(oid, self.inner.load(Ordering::SeqCst) as u64);
+                            out
+                        }
+                        None => op(),
                     }
                 }
 
                 /// Load the current value.
                 pub fn load(&self, order: Ordering) -> $prim {
-                    self.point(None);
-                    self.inner.load(order)
+                    self.shim_op(|| self.inner.load(order))
                 }
 
                 /// Store a new value.
                 pub fn store(&self, val: $prim, order: Ordering) {
-                    self.point(Some(val));
-                    self.inner.store(val, order)
+                    self.shim_op(|| self.inner.store(val, order))
                 }
 
                 /// Swap in a new value, returning the previous one.
                 pub fn swap(&self, val: $prim, order: Ordering) -> $prim {
-                    self.point(Some(val));
-                    self.inner.swap(val, order)
+                    self.shim_op(|| self.inner.swap(val, order))
                 }
 
                 /// Consume the atomic, returning the inner value.
@@ -284,14 +292,12 @@ pub mod atomic {
             impl $name {
                 /// Add, returning the previous value.
                 pub fn fetch_add(&self, val: $prim, order: Ordering) -> $prim {
-                    self.point(Some(self.inner.load(Ordering::SeqCst).wrapping_add(val)));
-                    self.inner.fetch_add(val, order)
+                    self.shim_op(|| self.inner.fetch_add(val, order))
                 }
 
                 /// Subtract, returning the previous value.
                 pub fn fetch_sub(&self, val: $prim, order: Ordering) -> $prim {
-                    self.point(Some(self.inner.load(Ordering::SeqCst).wrapping_sub(val)));
-                    self.inner.fetch_sub(val, order)
+                    self.shim_op(|| self.inner.fetch_sub(val, order))
                 }
 
                 /// Compare-and-exchange; `Ok(previous)` on success.
@@ -302,8 +308,7 @@ pub mod atomic {
                     success: Ordering,
                     failure: Ordering,
                 ) -> Result<$prim, $prim> {
-                    self.point(Some(new));
-                    self.inner.compare_exchange(current, new, success, failure)
+                    self.shim_op(|| self.inner.compare_exchange(current, new, success, failure))
                 }
 
                 /// Weak compare-and-exchange (may fail spuriously on real
@@ -315,9 +320,10 @@ pub mod atomic {
                     success: Ordering,
                     failure: Ordering,
                 ) -> Result<$prim, $prim> {
-                    self.point(Some(new));
-                    self.inner
-                        .compare_exchange_weak(current, new, success, failure)
+                    self.shim_op(|| {
+                        self.inner
+                            .compare_exchange_weak(current, new, success, failure)
+                    })
                 }
             }
         };
@@ -330,8 +336,7 @@ pub mod atomic {
     impl AtomicBool {
         /// Logical-or, returning the previous value.
         pub fn fetch_or(&self, val: bool, order: Ordering) -> bool {
-            self.point(Some(self.inner.load(Ordering::SeqCst) | val));
-            self.inner.fetch_or(val, order)
+            self.shim_op(|| self.inner.fetch_or(val, order))
         }
     }
 }

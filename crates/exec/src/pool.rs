@@ -294,6 +294,12 @@ fn worker_loop(shared: Arc<Shared>, local: Deque<Task>, index: usize) {
                 Source::Injector => stats.injector_pops.add(1),
                 Source::Stolen => stats.steals.add(1),
             }
+            // Bump `tasks` *before* running the task, at the same point as
+            // the source counter: the task's closure ends with the batch
+            // latch count_down, so a snapshot taken right after run_batch
+            // returns must already include this task in both counters or
+            // the tasks == local+injector+steals invariant is violated.
+            stats.tasks.add(1);
             {
                 let mut span = hpa_trace::span!("pool", "task");
                 if source == Source::Stolen {
@@ -301,7 +307,6 @@ fn worker_loop(shared: Arc<Shared>, local: Deque<Task>, index: usize) {
                 }
                 task();
             }
-            stats.tasks.add(1);
             continue;
         }
         if shared.shutdown.load(Ordering::Acquire) {
