@@ -241,8 +241,8 @@ pub mod atomic {
                 fn shim_op<R>(&self, op: impl FnOnce() -> R) -> R {
                     match sched::current() {
                         Some(ctx) => {
-                            let oid = ctx
-                                .atomic_pre(&self.obj, self.inner.load(Ordering::SeqCst) as u64);
+                            let oid =
+                                ctx.atomic_pre(&self.obj, self.inner.load(Ordering::SeqCst) as u64);
                             let out = op();
                             ctx.atomic_post(oid, self.inner.load(Ordering::SeqCst) as u64);
                             out

@@ -1,0 +1,146 @@
+//! Model-check suite for the K-means assignment write pattern.
+//!
+//! The assignment phase used to guard every document's output slot with
+//! its own `Mutex<u32>`. It now splits the assignment/bound arrays into
+//! per-chunk slices (`assign::chunk_states` in `hpa-kmeans`) — disjoint
+//! by construction via `split_at_mut` — and wraps each chunk's state in
+//! a single mutex that its task locks once per iteration. These suites
+//! assert the pattern is exact in every interleaving: chunk writes never
+//! interfere, nothing is lost when tasks contend on one chunk, and the
+//! range arithmetic that makes the slices disjoint covers every index
+//! exactly once.
+//!
+//! Run with `cargo test -p hpa-check --features model-check`.
+#![cfg(feature = "model-check")]
+
+use hpa_check as check;
+use hpa_check::sync::Mutex;
+use std::sync::Arc;
+
+/// Chunk-local state as the assignment loop shapes it: the chunk's
+/// output slots plus its work counters, all behind one lock.
+struct ChunkState {
+    assign: Vec<u32>,
+    docs_seen: u64,
+}
+
+/// Two worker threads each own a distinct chunk and write every slot of
+/// it while the main thread concurrently writes a third chunk. In every
+/// interleaving each slot must end up written exactly once with its
+/// owner's value and the per-chunk counters must be exact — the
+/// lock-free-across-chunks, one-lock-per-chunk discipline of the
+/// assignment phase.
+#[test]
+fn chunk_disjoint_writes_are_exact_in_all_interleavings() {
+    let report = check::model_with(
+        check::CheckConfig {
+            max_interleavings: 30_000,
+            ..check::CheckConfig::default()
+        },
+        || {
+            let chunk_len = 3usize;
+            let chunks: Arc<Vec<Mutex<ChunkState>>> = Arc::new(
+                (0..3)
+                    .map(|_| {
+                        Mutex::new(ChunkState {
+                            assign: vec![u32::MAX; chunk_len],
+                            docs_seen: 0,
+                        })
+                    })
+                    .collect(),
+            );
+            let workers: Vec<_> = (0..2)
+                .map(|ci| {
+                    let chunks = Arc::clone(&chunks);
+                    check::thread::spawn(move || {
+                        let mut state = chunks[ci].lock();
+                        for (local, slot) in state.assign.iter_mut().enumerate() {
+                            *slot = (ci * chunk_len + local) as u32;
+                        }
+                        state.docs_seen += chunk_len as u64;
+                    })
+                })
+                .collect();
+            {
+                let mut state = chunks[2].lock();
+                for (local, slot) in state.assign.iter_mut().enumerate() {
+                    *slot = (2 * chunk_len + local) as u32;
+                }
+                state.docs_seen += chunk_len as u64;
+            }
+            for w in workers {
+                w.join().unwrap();
+            }
+            // Stitch the chunks back together, as `fit` reads the
+            // assignment array after the iteration loop.
+            let mut all = Vec::new();
+            let mut docs = 0;
+            for c in chunks.iter() {
+                let state = c.lock();
+                all.extend_from_slice(&state.assign);
+                docs += state.docs_seen;
+            }
+            let expected: Vec<u32> = (0..3 * chunk_len as u32).collect();
+            assert_eq!(all, expected, "every slot written exactly once");
+            assert_eq!(docs, 3 * chunk_len as u64, "stats must be exact");
+        },
+    );
+    assert!(report.error.is_none(), "{report:?}");
+    assert!(report.interleavings >= 2, "{report:?}");
+}
+
+/// Two tasks that touch the *same* chunk (the simulator's cost closure
+/// reads the chunk state before the body rewrites it) serialize on the
+/// chunk mutex: the read-modify-write counters can never lose an update.
+#[test]
+fn same_chunk_contention_serializes_without_lost_updates() {
+    let report = check::model(|| {
+        let chunk = Arc::new(Mutex::new(ChunkState {
+            assign: vec![0; 2],
+            docs_seen: 0,
+        }));
+        let handles: Vec<_> = (0..2)
+            .map(|t| {
+                let chunk = Arc::clone(&chunk);
+                check::thread::spawn(move || {
+                    let mut state = chunk.lock();
+                    let seen = state.docs_seen;
+                    state.assign[t] = t as u32 + 1;
+                    state.docs_seen = seen + 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let state = chunk.lock();
+        assert_eq!(state.docs_seen, 2, "no lost update under contention");
+        assert_eq!(state.assign, vec![1, 2]);
+    });
+    assert!(report.error.is_none(), "{report:?}");
+    assert!(report.interleavings >= 2, "{report:?}");
+}
+
+/// The range arithmetic the chunk slices are cut with: `chunk_ranges`
+/// must tile `0..n` exactly — contiguous, disjoint, complete — for any
+/// grain, or `split_at_mut` would hand two tasks overlapping slices.
+/// Deterministic, but kept with the model suites as the regression guard
+/// for the disjointness precondition the interleaving tests rely on.
+#[test]
+fn chunk_ranges_tile_exactly_for_all_grains() {
+    for n in [0usize, 1, 2, 7, 16, 101] {
+        for grain in [1usize, 2, 3, 8, 64] {
+            let ranges = hpa_exec::chunk_ranges(n, grain);
+            let mut next = 0usize;
+            for r in &ranges {
+                assert_eq!(
+                    r.start, next,
+                    "ranges must be contiguous (n={n} grain={grain})"
+                );
+                assert!(r.end > r.start, "ranges must be non-empty");
+                next = r.end;
+            }
+            assert_eq!(next, n, "ranges must cover 0..{n} (grain={grain})");
+        }
+    }
+}

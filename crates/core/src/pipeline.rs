@@ -14,7 +14,7 @@ use hpa_exec::sync::Mutex;
 use hpa_exec::{Exec, TaskCost};
 use hpa_kmeans::KMeansConfig;
 use hpa_metrics::PhaseTimer;
-use hpa_sparse::{squared_distance_to_centroid, DenseVec, SparseVec};
+use hpa_sparse::{CentroidBlock, DenseVec, SparseVec};
 use hpa_tfidf::{TfIdfConfig, Vocab};
 use std::io::{BufRead, Write};
 
@@ -104,33 +104,59 @@ impl TrainedPipeline {
     }
 
     /// Assign each document of `corpus` to its nearest trained centroid
-    /// (parallel over documents).
+    /// (parallel over documents), through the term-major blocked kernel.
+    /// Each task writes its chunk's disjoint slice of the output — one
+    /// lock per chunk, none per document.
     pub fn predict(&self, exec: &Exec, corpus: &Corpus) -> Vec<u32> {
-        let norms: Vec<f64> = self.centroids.iter().map(|c| c.norm_sq()).collect();
-        let slots: Vec<Mutex<u32>> = (0..corpus.len()).map(|_| Mutex::new(0)).collect();
+        let n = corpus.len();
+        let block = CentroidBlock::from_centroids(&self.centroids);
         let docs = corpus.documents();
-        exec.par_for_costed(
-            corpus.len(),
-            0,
-            |i| {
-                let v = self.vectorize(&docs[i].text);
-                let mut best = 0u32;
-                let mut best_d = f64::INFINITY;
-                for (c, centroid) in self.centroids.iter().enumerate() {
-                    let d = squared_distance_to_centroid(&v, centroid, norms[c]);
-                    if d < best_d {
-                        best_d = d;
-                        best = c as u32;
+        let mut out = vec![0u32; n];
+        let grain = n.div_ceil(exec.threads()).max(1);
+        let ranges = hpa_exec::chunk_ranges(n, grain);
+        {
+            let mut rest: &mut [u32] = &mut out;
+            let mut slots: Vec<Mutex<&mut [u32]>> = Vec::with_capacity(ranges.len());
+            for r in &ranges {
+                let (head, tail) = rest.split_at_mut(r.len());
+                slots.push(Mutex::new(head));
+                rest = tail;
+            }
+            let slots_ref = &slots;
+            let ranges_ref = &ranges;
+            let block_ref = &block;
+            exec.par_chunks(
+                ranges.len(),
+                1,
+                |chunk_idx_range| {
+                    for ci in chunk_idx_range {
+                        let mut slot = slots_ref[ci].lock();
+                        let mut dist = vec![0.0; block_ref.k()];
+                        for (local, i) in ranges_ref[ci].clone().enumerate() {
+                            let v = self.vectorize(&docs[i].text);
+                            block_ref.distances_into(&v, &mut dist);
+                            let mut best = 0u32;
+                            let mut best_d = f64::INFINITY;
+                            for (c, &d) in dist.iter().enumerate() {
+                                if d < best_d {
+                                    best_d = d;
+                                    best = c as u32;
+                                }
+                            }
+                            slot[local] = best;
+                        }
                     }
-                }
-                *slots[i].lock() = best;
-            },
-            |range| {
-                let bytes: u64 = range.map(|i| docs[i].text.len() as u64).sum();
-                TaskCost::cpu_mem((bytes as f64 * 3.0) as u64, bytes)
-            },
-        );
-        slots.into_iter().map(|s| s.into_inner()).collect()
+                },
+                |chunk_idx_range| {
+                    let bytes: u64 = chunk_idx_range
+                        .flat_map(|ci| ranges_ref[ci].clone())
+                        .map(|i| docs[i].text.len() as u64)
+                        .sum();
+                    TaskCost::cpu_mem((bytes as f64 * 3.0) as u64, bytes)
+                },
+            );
+        }
+        out
     }
 
     /// Serialize as versioned plain text. Weights round-trip exactly

@@ -1,0 +1,464 @@
+//! Assignment kernels: naive, blocked, and blocked with exact
+//! Hamerly-style pruning.
+//!
+//! The K-means hot loop is the document→centroid distance kernel. Three
+//! arms, selectable via [`KMeansConfig::kernel`](crate::KMeansConfig):
+//!
+//! * [`AssignKernel::Naive`] — the original per-centroid loop: `k`
+//!   independent [`squared_distance_to_centroid`] calls per document,
+//!   `k` gather streams into `k` separate [`DenseVec`]s. Kept as the
+//!   ablation baseline.
+//! * [`AssignKernel::Blocked`] — one sweep over the document's
+//!   non-zeros against a term-major [`CentroidBlock`] computes all `k`
+//!   cross-products at once (one gather stream, 4-wide unrolled
+//!   accumulators).
+//! * [`AssignKernel::BlockedPruned`] — the blocked kernel plus exact
+//!   triangle-inequality pruning: per-document upper/lower bounds
+//!   maintained across Lloyd iterations from centroid-movement deltas
+//!   skip the full `k`-way sweep for documents whose assignment
+//!   provably cannot change.
+//!
+//! ## Bound invariants (the pruning correctness argument)
+//!
+//! For document `i` with current assignment `a`, working in *root*
+//! (non-squared) distance space:
+//!
+//! * `ub[i]` is an upper bound on `d(x_i, centroid_a)`;
+//! * `lb[i]` is a lower bound on `min over c != a` of `d(x_i, c)`.
+//!
+//! Both are exact (`ub` from a just-computed distance, `lb` from the
+//! runner-up of a full sweep) at the iteration that last scanned the
+//! document. When centroid `c` then moves by `delta_c = |c_new −
+//! c_old|`, the triangle inequality gives `d(x, c_new) ∈ [d(x, c_old) −
+//! delta_c, d(x, c_old) + delta_c]`, so the bounds survive a move as
+//! `ub += delta_a` and `lb −= max over c != a of delta_c`. Whenever
+//! `ub < lb` *after tightening `ub` to the exact current distance*, every
+//! rival centroid is strictly farther than the current assignment, so
+//! the argmin — including the naive path's lowest-index tie-breaking,
+//! which only matters at exact distance ties — is unchanged and the
+//! `k−1` rival distances need not be computed.
+//!
+//! Two details make the arm **bit-identical** to the naive kernel
+//! rather than merely equivalent:
+//!
+//! 1. the exact distance to the *current* centroid is always computed
+//!    (it is needed for the inertia trace anyway), in the same
+//!    floating-point operation order as the naive kernel, so the cost
+//!    accumulation sequence is unchanged; and
+//! 2. the maintained bounds are deflated/inflated by [`BOUND_SLACK`]
+//!    at every update, so accumulated floating-point rounding in the
+//!    `sqrt`/add/subtract chain can never produce an unsound skip —
+//!    only a vanishingly rare spurious full scan.
+//!
+//! [`squared_distance_to_centroid`]: hpa_sparse::squared_distance_to_centroid
+
+use hpa_sparse::{squared_distance_to_centroid, CentroidBlock, DenseVec, SparseVec};
+
+/// Which distance kernel the assignment phase runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AssignKernel {
+    /// Per-centroid scalar kernel: `k` passes over each document's
+    /// non-zeros (the pre-blocking baseline, kept for the ablation).
+    Naive,
+    /// Term-major [`CentroidBlock`] kernel: all `k` distances in one
+    /// sweep over the document's non-zeros.
+    Blocked,
+    /// Blocked kernel plus exact Hamerly-style bound pruning (the
+    /// default: strictly less work, bit-identical results).
+    #[default]
+    BlockedPruned,
+}
+
+impl AssignKernel {
+    /// Stable label for reports and JSON output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AssignKernel::Naive => "naive",
+            AssignKernel::Blocked => "blocked",
+            AssignKernel::BlockedPruned => "blocked+pruned",
+        }
+    }
+}
+
+/// Work counters of the assignment phase, accumulated across iterations
+/// and exposed on [`KMeansModel`](crate::KMeansModel) and as `hpa-trace`
+/// counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AssignStats {
+    /// Documents processed (documents × iterations).
+    pub docs: u64,
+    /// Documents whose full `k`-way sweep was skipped by the bounds.
+    pub docs_pruned: u64,
+    /// Document→centroid distances actually computed.
+    pub distances_computed: u64,
+    /// Distances proven unnecessary and skipped.
+    pub distances_pruned: u64,
+}
+
+impl AssignStats {
+    /// Fold `other` into `self`.
+    pub fn merge(&mut self, other: &AssignStats) {
+        self.docs += other.docs;
+        self.docs_pruned += other.docs_pruned;
+        self.distances_computed += other.distances_computed;
+        self.distances_pruned += other.distances_pruned;
+    }
+
+    /// Fraction of documents pruned (0 when nothing ran).
+    pub fn prune_rate(&self) -> f64 {
+        if self.docs == 0 {
+            0.0
+        } else {
+            self.docs_pruned as f64 / self.docs as f64
+        }
+    }
+}
+
+/// Relative slack applied to every maintained-bound update: the lower
+/// bound is deflated and the upper bound inflated by this factor, so
+/// floating-point rounding in the bound arithmetic (a few ulps per
+/// iteration, ~1e-16 relative) can never accumulate into an unsound
+/// skip. 1e-12 per update dominates the rounding noise by three orders
+/// of magnitude while staying far below any distance margin that
+/// actually decides a pruning test.
+const BOUND_SLACK: f64 = 1e-12;
+
+/// Per-chunk mutable state of the assignment loop. Chunk ranges are
+/// disjoint, so each parallel task owns its slices outright — one lock
+/// per *chunk* per iteration (taken by the task that processes it),
+/// not one per document.
+pub(crate) struct ChunkState<'a> {
+    /// Assignment output slice for this chunk's documents.
+    pub assign: &'a mut [u32],
+    /// Upper bounds on the root-distance to the assigned centroid.
+    pub ub: &'a mut [f64],
+    /// Lower bounds on the root-distance to the nearest rival centroid.
+    pub lb: &'a mut [f64],
+    /// Distance scratch (`k` wide), recycled across iterations.
+    pub dist: Vec<f64>,
+    /// Counters for the current iteration (reset each pass).
+    pub iter_stats: AssignStats,
+}
+
+/// Split the per-document arrays into per-chunk disjoint views along
+/// `ranges` (which must be consecutive and cover `0..n`).
+pub(crate) fn chunk_states<'a>(
+    mut assign: &'a mut [u32],
+    mut ub: &'a mut [f64],
+    mut lb: &'a mut [f64],
+    ranges: &[std::ops::Range<usize>],
+    k: usize,
+) -> Vec<ChunkState<'a>> {
+    let mut out = Vec::with_capacity(ranges.len());
+    for r in ranges {
+        let (a_head, a_tail) = assign.split_at_mut(r.len());
+        let (u_head, u_tail) = ub.split_at_mut(r.len());
+        let (l_head, l_tail) = lb.split_at_mut(r.len());
+        assign = a_tail;
+        ub = u_tail;
+        lb = l_tail;
+        out.push(ChunkState {
+            assign: a_head,
+            ub: u_head,
+            lb: l_head,
+            dist: vec![0.0; k],
+            iter_stats: AssignStats::default(),
+        });
+    }
+    assert!(assign.is_empty(), "ranges must cover all documents");
+    out
+}
+
+/// Per-centroid movement state carried between Lloyd iterations.
+#[derive(Debug, Default)]
+pub(crate) struct Movement {
+    /// Root-space movement `|c_new − c_old|` per centroid.
+    pub delta: Vec<f64>,
+    /// Largest delta and its centroid index.
+    pub max: f64,
+    pub argmax: usize,
+    /// Second-largest delta (for documents assigned to the argmax).
+    pub second: f64,
+}
+
+impl Movement {
+    /// Reset for `k` centroids with zero movement (first iteration).
+    pub fn reset(&mut self, k: usize) {
+        self.delta.clear();
+        self.delta.resize(k, 0.0);
+        self.max = 0.0;
+        self.argmax = 0;
+        self.second = 0.0;
+    }
+
+    /// Record centroid `c` having moved by squared distance `d_sq`.
+    pub fn record(&mut self, c: usize, d_sq: f64) {
+        let d = d_sq.sqrt();
+        self.delta[c] = d;
+        if d > self.max {
+            self.second = self.max;
+            self.max = d;
+            self.argmax = c;
+        } else if d > self.second {
+            self.second = d;
+        }
+    }
+
+    /// Largest movement among centroids other than `a` — the amount the
+    /// nearest-rival lower bound must retreat by.
+    #[inline]
+    pub fn max_excluding(&self, a: usize) -> f64 {
+        if a == self.argmax {
+            self.second
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Outcome of assigning one document.
+struct DocOutcome {
+    best: usize,
+    best_d: f64,
+    pruned: bool,
+}
+
+/// Assign the documents of one chunk with the selected kernel, writing
+/// assignments/bounds through `state` and folding per-document results
+/// into `fold` (centroid sums + cost). `centroids`/`norms` serve the
+/// naive arm; `block` serves the blocked arms.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assign_chunk(
+    kernel: AssignKernel,
+    vectors: &[SparseVec],
+    range: std::ops::Range<usize>,
+    centroids: &[DenseVec],
+    norms: &[f64],
+    block: &CentroidBlock,
+    movement: &Movement,
+    state: &mut ChunkState<'_>,
+    mut fold: impl FnMut(usize, usize, f64),
+) {
+    let k = centroids.len();
+    state.iter_stats = AssignStats::default();
+    for (local, i) in range.enumerate() {
+        let x = &vectors[i];
+        let outcome = match kernel {
+            AssignKernel::Naive => assign_doc_naive(x, centroids, norms),
+            AssignKernel::Blocked => assign_doc_blocked(x, block, &mut state.dist),
+            AssignKernel::BlockedPruned => {
+                let prior = state.assign[local] as usize;
+                assign_doc_pruned(
+                    x,
+                    block,
+                    prior,
+                    movement,
+                    &mut state.ub[local],
+                    &mut state.lb[local],
+                    &mut state.dist,
+                )
+            }
+        };
+        state.assign[local] = outcome.best as u32;
+        state.iter_stats.docs += 1;
+        if outcome.pruned {
+            state.iter_stats.docs_pruned += 1;
+            state.iter_stats.distances_computed += 1;
+            state.iter_stats.distances_pruned += (k as u64).saturating_sub(1);
+        } else {
+            state.iter_stats.distances_computed += k as u64;
+        }
+        fold(i, outcome.best, outcome.best_d);
+    }
+}
+
+/// The original per-centroid kernel: lowest index wins distance ties
+/// (strict `<` while scanning in centroid order).
+fn assign_doc_naive(x: &SparseVec, centroids: &[DenseVec], norms: &[f64]) -> DocOutcome {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = squared_distance_to_centroid(x, centroid, norms[c]);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    DocOutcome {
+        best,
+        best_d,
+        pruned: false,
+    }
+}
+
+/// Blocked full sweep: identical argmin scan over bit-identical
+/// distances.
+fn assign_doc_blocked(x: &SparseVec, block: &CentroidBlock, dist: &mut [f64]) -> DocOutcome {
+    block.distances_into(x, dist);
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (c, &d) in dist.iter().enumerate() {
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    DocOutcome {
+        best,
+        best_d,
+        pruned: false,
+    }
+}
+
+/// Blocked sweep guarded by the Hamerly bounds. Always computes the
+/// exact distance to the currently-assigned centroid (the inertia trace
+/// needs it); skips the `k−1` rival distances when the bounds prove the
+/// assignment cannot change.
+fn assign_doc_pruned(
+    x: &SparseVec,
+    block: &CentroidBlock,
+    prior: usize,
+    movement: &Movement,
+    ub: &mut f64,
+    lb: &mut f64,
+    dist: &mut [f64],
+) -> DocOutcome {
+    // Carry the bounds across the centroid movement since the last
+    // iteration, with slack against floating-point drift.
+    *ub = (*ub + movement.delta[prior]) * (1.0 + BOUND_SLACK);
+    *lb = (*lb - movement.max_excluding(prior)) * (1.0 - BOUND_SLACK);
+
+    // Tighten: the exact current distance to the assigned centroid.
+    let d_prior = block.distance_to(x, prior);
+    *ub = d_prior.sqrt();
+    if *ub < *lb {
+        // Every rival is strictly farther: assignment (and, a fortiori,
+        // the naive lowest-index tie-breaking) cannot change.
+        return DocOutcome {
+            best: prior,
+            best_d: d_prior,
+            pruned: true,
+        };
+    }
+
+    // Full sweep; reset both bounds to exact values.
+    block.distances_into(x, dist);
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    let mut second_d = f64::INFINITY;
+    for (c, &d) in dist.iter().enumerate() {
+        if d < best_d {
+            second_d = best_d;
+            best_d = d;
+            best = c;
+        } else if d < second_d {
+            second_d = d;
+        }
+    }
+    *ub = best_d.sqrt();
+    *lb = second_d.sqrt();
+    DocOutcome {
+        best,
+        best_d,
+        pruned: false,
+    }
+}
+
+/// Predict, for the cost model, whether the pruned kernel will skip the
+/// full sweep for a document — using only this-iteration-stale bounds
+/// (the in-kernel test can additionally skip after tightening, so this
+/// is a conservative under-count of skips: the simulator never
+/// under-charges).
+#[inline]
+pub(crate) fn predicts_prune(ub: f64, lb: f64, prior: usize, movement: &Movement) -> bool {
+    let ub = (ub + movement.delta[prior]) * (1.0 + BOUND_SLACK);
+    let lb = (lb - movement.max_excluding(prior)) * (1.0 - BOUND_SLACK);
+    ub < lb
+}
+
+/// Precompute the pairwise tree-merge pairing schedule for `m` partials:
+/// one entry per round, `(stride, left-hand indices)`. Depends only on
+/// `m`, so it is computed once per `fit` and recycled across iterations
+/// instead of allocating a fresh pairing vector per round per iteration.
+pub(crate) fn merge_schedule(m: usize) -> Vec<(usize, Vec<usize>)> {
+    let mut rounds = Vec::new();
+    let mut stride = 1;
+    while stride < m {
+        let lhs: Vec<usize> = (0..m)
+            .step_by(stride * 2)
+            .filter(|i| i + stride < m)
+            .collect();
+        rounds.push((stride, lhs));
+        stride *= 2;
+    }
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_schedule_matches_loop_shape() {
+        // Mirrors the inline computation the schedule replaced.
+        for m in 0..20 {
+            let mut stride = 1;
+            let mut expected = Vec::new();
+            while stride < m {
+                let lhs: Vec<usize> = (0..m)
+                    .step_by(stride * 2)
+                    .filter(|i| i + stride < m)
+                    .collect();
+                expected.push((stride, lhs));
+                stride *= 2;
+            }
+            assert_eq!(merge_schedule(m), expected, "m={m}");
+        }
+    }
+
+    #[test]
+    fn movement_tracks_max_and_second() {
+        let mut mv = Movement::default();
+        mv.reset(4);
+        mv.record(0, 9.0); // delta 3
+        mv.record(1, 1.0); // delta 1
+        mv.record(2, 16.0); // delta 4
+        assert_eq!(mv.delta, vec![3.0, 1.0, 4.0, 0.0]);
+        assert_eq!(mv.max, 4.0);
+        assert_eq!(mv.argmax, 2);
+        assert_eq!(mv.second, 3.0);
+        assert_eq!(mv.max_excluding(2), 3.0);
+        assert_eq!(mv.max_excluding(0), 4.0);
+    }
+
+    #[test]
+    fn chunk_states_split_covers_everything() {
+        let mut a = vec![0u32; 10];
+        let mut u = vec![0.0; 10];
+        let mut l = vec![0.0; 10];
+        let ranges = hpa_exec::chunk_ranges(10, 4);
+        let states = chunk_states(&mut a, &mut u, &mut l, &ranges, 3);
+        assert_eq!(states.len(), 3);
+        let total: usize = states.iter().map(|s| s.assign.len()).sum();
+        assert_eq!(total, 10);
+        for s in &states {
+            assert_eq!(s.dist.len(), 3);
+        }
+    }
+
+    #[test]
+    fn stats_merge_and_prune_rate() {
+        let mut a = AssignStats {
+            docs: 10,
+            docs_pruned: 4,
+            distances_computed: 52,
+            distances_pruned: 28,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.docs, 20);
+        assert_eq!(a.distances_pruned, 56);
+        assert!((a.prune_rate() - 0.4).abs() < 1e-12);
+        assert_eq!(AssignStats::default().prune_rate(), 0.0);
+    }
+}

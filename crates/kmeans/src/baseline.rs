@@ -82,6 +82,7 @@ impl SimpleKMeans {
                     iterations: 0,
                     converged: true,
                     trace: Vec::new(),
+                    assign_stats: crate::AssignStats::default(),
                 }),
                 iterations_done: 0,
                 elapsed: start.elapsed(),
@@ -173,6 +174,7 @@ impl SimpleKMeans {
                 iterations,
                 converged,
                 trace,
+                assign_stats: crate::AssignStats::default(),
             }),
             iterations_done: iterations,
             elapsed: start.elapsed(),

@@ -25,6 +25,22 @@ const ACCUM_NS_PER_NNZ: f64 = 2.2;
 /// effective fraction of each 8 B gather misses.
 const ASSIGN_BYTES_PER_NNZ_CLUSTER: f64 = 2.0;
 
+/// Blocked kernel, per (nnz, cluster) pair: the `k` weights for a term
+/// share cache lines (term-major layout), so the gather cost amortizes
+/// across the 4-wide unrolled accumulators — cheaper than the naive
+/// kernel's `k` independent streams.
+const BLOCKED_ASSIGN_NS_PER_NNZ_CLUSTER: f64 = 1.0;
+/// Effective bytes per (nnz, cluster) step of the blocked kernel: one
+/// sequential 8 B × k run per gathered term instead of k scattered 8 B
+/// gathers.
+const BLOCKED_ASSIGN_BYTES_PER_NNZ_CLUSTER: f64 = 1.0;
+/// Extra per-document bookkeeping of the pruned kernel: bound carry,
+/// sqrt, and the skip test.
+const PRUNE_NS_PER_DOC: f64 = 14.0;
+/// Re-transposing the centroids into the term-major block, per
+/// `k × dim` element (sequential write + strided read).
+const BLOCK_REBUILD_NS_PER_ELEM: f64 = 0.8;
+
 /// Merging one partial centroid-sum set into another (one tree-reduction
 /// pair merge), per `k × dim` element: a read-modify-write over two
 /// large arrays — cache-miss bound, ~3 ns/element on the modelled
@@ -47,6 +63,54 @@ pub fn assign_chunk_cost(vectors: &[SparseVec], range: Range<usize>, k: usize) -
     TaskCost {
         cpu_ns: cpu as u64,
         mem_bytes: mem as u64,
+        ..Default::default()
+    }
+}
+
+/// Cost of assigning the documents of `range` with the blocked
+/// (term-major) kernel: same multiply-add count as the naive kernel,
+/// one gather stream instead of `k`.
+pub fn assign_chunk_cost_blocked(vectors: &[SparseVec], range: Range<usize>, k: usize) -> TaskCost {
+    let nnz: u64 = range.clone().map(|i| vectors[i].nnz() as u64).sum();
+    let docs = range.len() as u64;
+    let cpu = nnz as f64 * k as f64 * BLOCKED_ASSIGN_NS_PER_NNZ_CLUSTER
+        + nnz as f64 * ACCUM_NS_PER_NNZ
+        + docs as f64 * ASSIGN_NS_PER_DOC;
+    let mem = nnz as f64 * k as f64 * BLOCKED_ASSIGN_BYTES_PER_NNZ_CLUSTER + nnz as f64 * 24.0;
+    TaskCost {
+        cpu_ns: cpu as u64,
+        mem_bytes: mem as u64,
+        ..Default::default()
+    }
+}
+
+/// Cost of the blocked+pruned kernel over one chunk, split by the
+/// *predicted* outcome per document: full-sweep documents pay all `k`
+/// distances, pruned documents pay exactly one (the exact distance to
+/// the assigned centroid that the inertia trace needs) — so `exec`
+/// scheduling stays honest about how much work pruning actually
+/// removes.
+pub fn assign_cost_pruned(nnz_full: u64, nnz_pruned: u64, docs: u64, k: usize) -> TaskCost {
+    let nnz = (nnz_full + nnz_pruned) as f64;
+    let distance_nnz = nnz_full as f64 * k as f64 + nnz_pruned as f64;
+    let cpu = distance_nnz * BLOCKED_ASSIGN_NS_PER_NNZ_CLUSTER
+        + nnz * ACCUM_NS_PER_NNZ
+        + docs as f64 * (ASSIGN_NS_PER_DOC + PRUNE_NS_PER_DOC);
+    let mem = distance_nnz * BLOCKED_ASSIGN_BYTES_PER_NNZ_CLUSTER + nnz * 24.0;
+    TaskCost {
+        cpu_ns: cpu as u64,
+        mem_bytes: mem as u64,
+        ..Default::default()
+    }
+}
+
+/// Cost of re-transposing the centroids into the term-major block
+/// (serial, once per iteration for the blocked kernels).
+pub fn block_rebuild_cost(k: usize, dim: usize) -> TaskCost {
+    let elems = (k * dim) as f64;
+    TaskCost {
+        cpu_ns: (elems * BLOCK_REBUILD_NS_PER_ELEM) as u64,
+        mem_bytes: (elems * 16.0) as u64,
         ..Default::default()
     }
 }

@@ -13,6 +13,15 @@
 //! * **buffer recycling** across iterations ("we do not create new
 //!   objects during the iterations") — toggleable for the ablation bench.
 //!
+//! On top of the paper's two, this reproduction restructures the hot
+//! distance kernel itself (see [`assign`]): a term-major
+//! [`CentroidBlock`](hpa_sparse::CentroidBlock) computes all `k`
+//! distances in one sweep over each document's non-zeros, and exact
+//! Hamerly-style bounds skip the sweep entirely for documents whose
+//! assignment provably cannot change. Both arms are bit-identical to
+//! the naive kernel, which stays available via
+//! [`KMeansConfig::kernel`] as the ablation baseline.
+//!
 //! All document loops run on the [`Exec`] substrate with one partial
 //! accumulator per worker (mirroring Cilk reducers); the per-iteration
 //! pairwise tree merge of those partials — `log2(P)` rounds over dense
@@ -22,13 +31,16 @@
 //! [`baseline::SimpleKMeans`] reproduces the WEKA comparator: dense,
 //! single-threaded, allocation-happy.
 
+pub mod assign;
 pub mod baseline;
 pub mod cost;
 pub mod init;
 
+pub use assign::{AssignKernel, AssignStats};
+
 use hpa_exec::sync::Mutex;
-use hpa_exec::Exec;
-use hpa_sparse::{squared_distance_to_centroid, DenseVec, SparseVec};
+use hpa_exec::{Exec, TaskCost};
+use hpa_sparse::{squared_distance_to_centroid, CentroidBlock, DenseVec, SparseVec};
 
 /// Cluster-initialization strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -61,6 +73,9 @@ pub struct KMeansConfig {
     /// optimization). Disabling reallocates everything each iteration —
     /// the ablation's "naive" arm.
     pub recycle_buffers: bool,
+    /// Which assignment kernel runs the document→centroid distance loop
+    /// (see [`assign`]); all three arms produce bit-identical results.
+    pub kernel: AssignKernel,
 }
 
 impl Default for KMeansConfig {
@@ -73,6 +88,7 @@ impl Default for KMeansConfig {
             init: InitMethod::RandomPoints,
             grain: 0,
             recycle_buffers: true,
+            kernel: AssignKernel::default(),
         }
     }
 }
@@ -94,6 +110,10 @@ pub struct KMeansModel {
     /// Inertia after each Lloyd iteration (length = `iterations`); the
     /// sequence is non-increasing — a property the test suite asserts.
     pub trace: Vec<f64>,
+    /// Assignment-phase work counters accumulated over all iterations
+    /// (distances computed vs. proven unnecessary by the pruning
+    /// bounds; zeros for the non-pruned kernels' pruning fields).
+    pub assign_stats: AssignStats,
 }
 
 /// Partial accumulation state of one parallel chunk.
@@ -164,6 +184,7 @@ impl KMeans {
                 iterations: 0,
                 converged: true,
                 trace: Vec::new(),
+                assign_stats: AssignStats::default(),
             };
         }
         let k = cfg.k.min(n);
@@ -185,16 +206,23 @@ impl KMeans {
         });
 
         let mut assignments = vec![0u32; n];
-        let assignment_slots: Vec<Mutex<u32>> = (0..n).map(|_| Mutex::new(0)).collect();
+        // Hamerly bounds (root-distance space), carried across
+        // iterations by the pruned kernel. `ub = ∞, lb = 0` forces a
+        // full sweep the first time a document is seen.
+        let mut bound_ub = vec![f64::INFINITY; n];
+        let mut bound_lb = vec![0.0f64; n];
         let mut inertia = f64::INFINITY;
         let mut iterations = 0;
         let mut converged = false;
         let mut trace: Vec<f64> = Vec::with_capacity(cfg.max_iters);
+        let mut total_stats = AssignStats::default();
 
         // Recycled across iterations: centroid norms, the per-chunk
-        // partial accumulators (k dense vectors each!), and the recompute
-        // scratch. With recycling off, every iteration allocates all of
-        // them afresh — the pessimization the §3.1 ablation measures.
+        // partial accumulators (k dense vectors each!), the term-major
+        // centroid block, the movement deltas, and the recompute
+        // scratch. With recycling off, every iteration allocates the
+        // norms/partials afresh — the pessimization the §3.1 ablation
+        // measures.
         let mut norms: Vec<f64> = Vec::new();
         let grain = if cfg.grain > 0 {
             cfg.grain
@@ -203,14 +231,43 @@ impl KMeans {
         };
         let ranges = hpa_exec::chunk_ranges(n, grain);
         let mut partials: Vec<Mutex<Partial>> = Vec::new();
+        // Pairwise-merge pairing schedule: depends only on the chunk
+        // count, so compute it once instead of per round per iteration.
+        let merge_rounds = assign::merge_schedule(ranges.len());
+        let use_block = matches!(
+            cfg.kernel,
+            AssignKernel::Blocked | AssignKernel::BlockedPruned
+        );
+        let mut block = CentroidBlock::new();
+        let mut movement = assign::Movement::default();
+        movement.reset(k);
 
-        for iter in 0..cfg.max_iters {
-            iterations = iter + 1;
-            let _iter_span = hpa_trace::span!("kmeans", "iter", iter as u64);
-            if cfg.recycle_buffers {
-                norms.clear();
-                norms.extend(centroids.iter().map(|c| c.norm_sq()));
-                if partials.len() == ranges.len() {
+        {
+            // Chunk ranges are disjoint, so every parallel task owns its
+            // chunk's slices of the assignment/bound arrays outright:
+            // one lock per chunk per iteration, none per document.
+            let chunk_slots: Vec<Mutex<assign::ChunkState<'_>>> =
+                assign::chunk_states(&mut assignments, &mut bound_ub, &mut bound_lb, &ranges, k)
+                    .into_iter()
+                    .map(Mutex::new)
+                    .collect();
+
+            for iter in 0..cfg.max_iters {
+                iterations = iter + 1;
+                let _iter_span = hpa_trace::span!("kmeans", "iter", iter as u64);
+                if use_block {
+                    // Re-transpose the centroids into the term-major
+                    // block (also refreshes the norms it carries).
+                    exec.serial(cost::block_rebuild_cost(k, dim), || {
+                        block.rebuild(&centroids)
+                    });
+                } else if cfg.recycle_buffers {
+                    norms.clear();
+                    norms.extend(centroids.iter().map(|c| c.norm_sq()));
+                } else {
+                    norms = centroids.iter().map(|c| c.norm_sq()).collect();
+                }
+                if cfg.recycle_buffers && partials.len() == ranges.len() {
                     for p in &partials {
                         p.lock().reset(k, dim);
                     }
@@ -220,126 +277,169 @@ impl KMeans {
                         .map(|_| Mutex::new(Partial::new(k, dim)))
                         .collect();
                 }
-            } else {
-                norms = centroids.iter().map(|c| c.norm_sq()).collect();
-                partials = ranges
-                    .iter()
-                    .map(|_| Mutex::new(Partial::new(k, dim)))
-                    .collect();
-            }
-            let norms_ref = &norms;
-            let centroids_ref = &centroids;
-            let slots_ref = &assignment_slots;
-            let partials_ref = &partials;
-            let ranges_ref = &ranges;
+                let norms_ref = &norms;
+                let centroids_ref = &centroids;
+                let partials_ref = &partials;
+                let ranges_ref = &ranges;
+                let chunk_slots_ref = &chunk_slots;
+                let block_ref = &block;
+                let movement_ref = &movement;
+                let kernel = cfg.kernel;
 
-            // --- Parallel assignment + per-chunk partial centroid sums.
-            let assign_span = hpa_trace::span!("kmeans", "assign", iter as u64);
-            exec.par_chunks(
-                ranges.len(),
-                1,
-                |chunk_idx_range| {
-                    for ci in chunk_idx_range {
-                        let mut acc = partials_ref[ci].lock();
-                        for i in ranges_ref[ci].clone() {
-                            let x = &vectors[i];
-                            let mut best = 0usize;
-                            let mut best_d = f64::INFINITY;
-                            for (c, centroid) in centroids_ref.iter().enumerate() {
-                                let d = squared_distance_to_centroid(x, centroid, norms_ref[c]);
-                                if d < best_d {
-                                    best_d = d;
-                                    best = c;
-                                }
-                            }
-                            *slots_ref[i].lock() = best as u32;
-                            acc.sums[best].add_sparse(x);
-                            acc.counts[best] += 1;
-                            acc.cost += best_d;
-                        }
-                    }
-                },
-                |chunk_idx_range| {
-                    let mut total = hpa_exec::TaskCost::default();
-                    for ci in chunk_idx_range.clone() {
-                        total += cost::assign_chunk_cost(vectors, ranges_ref[ci].clone(), k);
-                    }
-                    total
-                },
-            );
-            drop(assign_span);
-
-            // --- Parallel in-place tree merge of the partials (pairwise
-            // rounds, like Cilk reducer merges), leaving the total in
-            // partials[0]. Allocation-free.
-            let merge_span = hpa_trace::span!("kmeans", "merge", iter as u64);
-            let m = partials.len();
-            let mut stride = 1;
-            while stride < m {
-                let pair_lhs: Vec<usize> = (0..m)
-                    .step_by(stride * 2)
-                    .filter(|i| i + stride < m)
-                    .collect();
-                let pair_lhs_ref = &pair_lhs;
+                // --- Parallel assignment + per-chunk partial centroid
+                // sums, through the selected kernel.
+                let assign_span = hpa_trace::span!("kmeans", "assign", iter as u64);
                 exec.par_chunks(
-                    pair_lhs.len(),
+                    ranges.len(),
                     1,
-                    |pair_range| {
-                        for pi in pair_range {
-                            let i = pair_lhs_ref[pi];
-                            let mut a = partials_ref[i].lock();
-                            let b = partials_ref[i + stride].lock();
-                            a.merge_in_place(&b);
+                    |chunk_idx_range| {
+                        for ci in chunk_idx_range {
+                            let mut acc = partials_ref[ci].lock();
+                            let mut state = chunk_slots_ref[ci].lock();
+                            assign::assign_chunk(
+                                kernel,
+                                vectors,
+                                ranges_ref[ci].clone(),
+                                centroids_ref,
+                                norms_ref,
+                                block_ref,
+                                movement_ref,
+                                &mut state,
+                                |i, best, best_d| {
+                                    acc.sums[best].add_sparse(&vectors[i]);
+                                    acc.counts[best] += 1;
+                                    acc.cost += best_d;
+                                },
+                            );
                         }
                     },
-                    |pair_range| {
-                        let mut total = hpa_exec::TaskCost::default();
-                        for _ in pair_range {
-                            total += cost::reduce_cost(k, dim);
+                    |chunk_idx_range| {
+                        let mut total = TaskCost::default();
+                        for ci in chunk_idx_range.clone() {
+                            let range = ranges_ref[ci].clone();
+                            total += match kernel {
+                                AssignKernel::Naive => cost::assign_chunk_cost(vectors, range, k),
+                                AssignKernel::Blocked => {
+                                    cost::assign_chunk_cost_blocked(vectors, range, k)
+                                }
+                                AssignKernel::BlockedPruned => {
+                                    // Predict per-document skips from the
+                                    // pre-assignment bounds (conservative:
+                                    // the kernel can only skip more).
+                                    let state = chunk_slots_ref[ci].lock();
+                                    let docs = range.len() as u64;
+                                    let mut nnz_full = 0u64;
+                                    let mut nnz_pruned = 0u64;
+                                    for (local, i) in range.enumerate() {
+                                        let nnz = vectors[i].nnz() as u64;
+                                        if assign::predicts_prune(
+                                            state.ub[local],
+                                            state.lb[local],
+                                            state.assign[local] as usize,
+                                            movement_ref,
+                                        ) {
+                                            nnz_pruned += nnz;
+                                        } else {
+                                            nnz_full += nnz;
+                                        }
+                                    }
+                                    cost::assign_cost_pruned(nnz_full, nnz_pruned, docs, k)
+                                }
+                            };
                         }
                         total
                     },
                 );
-                stride *= 2;
-            }
-            drop(merge_span);
-            let partial = partials[0].lock();
+                drop(assign_span);
 
-            // --- Serial centroid recompute.
-            let _recompute_span = hpa_trace::span!("kmeans", "recompute", iter as u64);
-            let new_inertia = partial.cost;
-            let movement = exec.serial(cost::recompute_cost(k, dim), || {
-                let mut max_move: f64 = 0.0;
-                #[allow(clippy::needless_range_loop)] // c indexes three parallel arrays
-                for c in 0..k {
-                    if partial.counts[c] == 0 {
-                        // Empty cluster: keep its previous centroid (the
-                        // paper's operator does not re-seed mid-run).
-                        continue;
-                    }
-                    let mut fresh = partial.sums[c].clone();
-                    fresh.scale(1.0 / partial.counts[c] as f64);
-                    max_move = max_move.max(centroids[c].squared_distance(&fresh));
-                    if cfg.recycle_buffers {
-                        centroids[c].copy_from(&fresh);
-                    } else {
-                        centroids[c] = fresh;
-                    }
+                // Pruning effectiveness for this iteration: fold the
+                // per-chunk counters into the run totals and the trace.
+                let mut iter_stats = AssignStats::default();
+                for slot in &chunk_slots {
+                    iter_stats.merge(&slot.lock().iter_stats);
                 }
-                max_move
-            });
+                total_stats.merge(&iter_stats);
+                hpa_trace::counter("kmeans", "docs_pruned", iter_stats.docs_pruned);
+                hpa_trace::counter(
+                    "kmeans",
+                    "distances_computed",
+                    iter_stats.distances_computed,
+                );
+                hpa_trace::counter("kmeans", "distances_pruned", iter_stats.distances_pruned);
 
-            inertia = new_inertia;
-            trace.push(inertia);
-            if movement <= cfg.tol {
-                converged = true;
-                break;
+                // --- Parallel in-place tree merge of the partials
+                // (pairwise rounds, like Cilk reducer merges), leaving
+                // the total in partials[0]. Allocation-free: the pairing
+                // schedule is precomputed.
+                let merge_span = hpa_trace::span!("kmeans", "merge", iter as u64);
+                for (stride, pair_lhs) in &merge_rounds {
+                    let stride = *stride;
+                    let pair_lhs_ref = pair_lhs;
+                    exec.par_chunks(
+                        pair_lhs.len(),
+                        1,
+                        |pair_range| {
+                            for pi in pair_range {
+                                let i = pair_lhs_ref[pi];
+                                let mut a = partials_ref[i].lock();
+                                let b = partials_ref[i + stride].lock();
+                                a.merge_in_place(&b);
+                            }
+                        },
+                        |pair_range| {
+                            let mut total = TaskCost::default();
+                            for _ in pair_range {
+                                total += cost::reduce_cost(k, dim);
+                            }
+                            total
+                        },
+                    );
+                }
+                drop(merge_span);
+                let partial = partials[0].lock();
+
+                // --- Serial centroid recompute; records per-centroid
+                // movement deltas for the next iteration's bounds.
+                let _recompute_span = hpa_trace::span!("kmeans", "recompute", iter as u64);
+                let new_inertia = partial.cost;
+                let max_movement = {
+                    let centroids = &mut centroids;
+                    let movement = &mut movement;
+                    exec.serial(cost::recompute_cost(k, dim), move || {
+                        movement.reset(k);
+                        let mut max_move: f64 = 0.0;
+                        #[allow(clippy::needless_range_loop)] // c indexes three parallel arrays
+                        for c in 0..k {
+                            if partial.counts[c] == 0 {
+                                // Empty cluster: keep its previous centroid
+                                // (the paper's operator does not re-seed
+                                // mid-run); its movement delta stays zero.
+                                continue;
+                            }
+                            let mut fresh = partial.sums[c].clone();
+                            fresh.scale(1.0 / partial.counts[c] as f64);
+                            let moved = centroids[c].squared_distance(&fresh);
+                            movement.record(c, moved);
+                            max_move = max_move.max(moved);
+                            if cfg.recycle_buffers {
+                                centroids[c].copy_from(&fresh);
+                            } else {
+                                centroids[c] = fresh;
+                            }
+                        }
+                        max_move
+                    })
+                };
+
+                inertia = new_inertia;
+                trace.push(inertia);
+                if max_movement <= cfg.tol {
+                    converged = true;
+                    break;
+                }
             }
         }
 
-        for (dst, slot) in assignments.iter_mut().zip(&assignment_slots) {
-            *dst = *slot.lock();
-        }
         KMeansModel {
             centroids,
             assignments,
@@ -347,6 +447,7 @@ impl KMeans {
             iterations,
             converged,
             trace,
+            assign_stats: total_stats,
         }
     }
 }

@@ -97,6 +97,25 @@ proptest! {
     }
 
     #[test]
+    fn assignment_kernels_bit_identical(vectors in arb_vectors(), k in 1usize..6) {
+        use hpa_kmeans::AssignKernel;
+        let run = |kernel| {
+            let mut c = cfg(k, 8);
+            c.kernel = kernel;
+            KMeans::new(c).fit(&Exec::sequential(), &vectors, DIM as usize)
+        };
+        let reference = run(AssignKernel::Naive);
+        for kernel in [AssignKernel::Blocked, AssignKernel::BlockedPruned] {
+            let other = run(kernel);
+            prop_assert_eq!(&reference.assignments, &other.assignments);
+            prop_assert_eq!(reference.inertia.to_bits(), other.inertia.to_bits());
+            let rt: Vec<u64> = reference.trace.iter().map(|x| x.to_bits()).collect();
+            let ot: Vec<u64> = other.trace.iter().map(|x| x.to_bits()).collect();
+            prop_assert_eq!(rt, ot);
+        }
+    }
+
+    #[test]
     fn cluster_ids_in_range(vectors in arb_vectors(), k in 1usize..6) {
         let model = KMeans::new(cfg(k, 4)).fit(&Exec::sequential(), &vectors, DIM as usize);
         let k_eff = k.min(vectors.len());

@@ -12,10 +12,12 @@
 //! instead of allocating fresh ones ("we do not create new objects during
 //! the iterations").
 
+pub mod block;
 pub mod dense;
 pub mod distance;
 pub mod recycle;
 
+pub use block::CentroidBlock;
 pub use dense::DenseVec;
 pub use distance::{cosine_similarity, squared_distance_to_centroid};
 pub use recycle::BufferPool;

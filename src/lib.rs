@@ -64,7 +64,7 @@ pub mod prelude {
     pub use hpa_corpus::{Corpus, CorpusSpec};
     pub use hpa_dict::{BTreeDict, DictKind, Dictionary, HashDict};
     pub use hpa_exec::{Exec, MachineModel};
-    pub use hpa_kmeans::{KMeansConfig, KMeansModel};
+    pub use hpa_kmeans::{AssignKernel, AssignStats, KMeansConfig, KMeansModel};
     pub use hpa_metrics::{PhaseReport, PhaseTimer};
     pub use hpa_sparse::SparseVec;
     pub use hpa_tfidf::{TfIdfConfig, TfIdfModel};

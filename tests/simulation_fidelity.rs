@@ -36,6 +36,11 @@ fn total_secs(out: &hpa::workflow::WorkflowOutcome) -> f64 {
 #[test]
 fn figure1_ordering_nsf_scales_better_than_mix() {
     // Self-relative K-means speedup at 16 cores: NSF > Mix (Figure 1).
+    // Pinned to the naive per-centroid kernel: Figure 1 models the paper's
+    // original implementation. The blocked+pruned kernel (the default)
+    // deliberately shrinks the parallel assignment work after the first
+    // iteration, which lowers the achievable Amdahl speedup — its effect
+    // is measured by the `ablation_assign` bench, not this figure.
     let speedup_at_16 = |spec: CorpusSpec| {
         let corpus = spec.generate(3);
         let model =
@@ -48,6 +53,7 @@ fn figure1_ordering_nsf_scales_better_than_mix() {
                 max_iters: 5,
                 tol: 0.0,
                 seed: 1,
+                kernel: AssignKernel::Naive,
                 ..Default::default()
             })
             .fit(&e, &model.vectors, model.vocab.len());
