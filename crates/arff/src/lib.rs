@@ -20,7 +20,7 @@
 mod reader;
 mod writer;
 
-pub use reader::ArffReader;
+pub use reader::{parse_data_line, ArffReader};
 pub use writer::ArffWriter;
 
 use std::fmt;

@@ -2,8 +2,15 @@
 //!
 //! Parses the header eagerly, then streams data rows as [`SparseVec`]s
 //! (dense rows are sparsified: zeros dropped). Supports `%` comments,
-//! blank lines, quoted names, and case-insensitive keywords — enough to
-//! read files WEKA itself writes.
+//! blank lines, quoted names, CRLF line endings, WEKA's `?`
+//! missing-value token (treated as 0-weight, as TF/IDF matrices demand),
+//! and case-insensitive keywords — enough to read files WEKA itself
+//! writes.
+//!
+//! Row parsing is exposed standalone as [`parse_data_line`] so the data
+//! section can also be consumed in parallel, line-aligned chunks
+//! (`hpa_tfidf::read_arff_parallel`); [`ArffReader::into_parts`] hands
+//! over the input positioned at the first data byte for exactly that.
 
 use crate::{unquote_name, ArffError, ArffHeader, AttrKind, Attribute};
 use hpa_sparse::SparseVec;
@@ -64,6 +71,13 @@ impl<R: BufRead> ArffReader<R> {
         &self.header
     }
 
+    /// Dismantle the reader after header parsing: the header, the input
+    /// (positioned at the first byte after the `@DATA` line), and the
+    /// number of lines consumed so far (for downstream line numbering).
+    pub fn into_parts(self) -> (ArffHeader, R, usize) {
+        (self.header, self.input, self.line_no)
+    }
+
     /// Read the next data row, or `None` at end of file.
     pub fn next_row(&mut self) -> Result<Option<SparseVec>, ArffError> {
         loop {
@@ -73,11 +87,10 @@ impl<R: BufRead> ArffReader<R> {
                 return Ok(None);
             }
             self.line_no += 1;
-            let line = strip_comment(&self.buf).trim();
-            if line.is_empty() {
-                continue;
+            match parse_data_line(&self.buf, self.header.dim(), self.line_no)? {
+                Some(row) => return Ok(Some(row)),
+                None => continue,
             }
-            return self.parse_row(line).map(Some);
         }
     }
 
@@ -89,61 +102,82 @@ impl<R: BufRead> ArffReader<R> {
         }
         Ok(rows)
     }
+}
 
-    fn parse_row(&self, line: &str) -> Result<SparseVec, ArffError> {
-        let err = |message: String| ArffError::Parse {
-            line: self.line_no,
-            message,
-        };
-        let dim = self.header.dim();
-        if let Some(inner) = line.strip_prefix('{') {
-            let inner = inner
-                .strip_suffix('}')
-                .ok_or_else(|| err("sparse row missing closing '}'".into()))?;
-            let mut pairs = Vec::new();
-            for item in inner.split(',') {
-                let item = item.trim();
-                if item.is_empty() {
-                    continue;
-                }
-                let (idx_s, val_s) = item
-                    .split_once(char::is_whitespace)
-                    .ok_or_else(|| err(format!("sparse entry '{item}' lacks a value")))?;
-                let idx: u32 = idx_s
-                    .trim()
-                    .parse()
-                    .map_err(|_| err(format!("bad index '{idx_s}'")))?;
-                if idx as usize >= dim {
-                    return Err(err(format!("index {idx} out of range (dim {dim})")));
-                }
-                let val: f64 = val_s
-                    .trim()
-                    .parse()
-                    .map_err(|_| err(format!("bad value '{val_s}'")))?;
-                pairs.push((idx, val));
+/// Parse one raw line of the `@DATA` section against a header of `dim`
+/// attributes. Handles comment stripping, blank lines (`Ok(None)`), CRLF
+/// endings (the trailing `\r` trims away), both sparse and dense rows,
+/// and WEKA's `?` missing-value token — missing numeric values carry no
+/// weight, so they sparsify to absent entries. `line_no` (1-based) is
+/// only used for error reporting.
+///
+/// This is the per-line half of [`ArffReader::next_row`], exposed so the
+/// data section can be parsed in parallel, line-aligned chunks with
+/// results identical to the streaming reader.
+pub fn parse_data_line(
+    raw: &str,
+    dim: usize,
+    line_no: usize,
+) -> Result<Option<SparseVec>, ArffError> {
+    let line = strip_comment(raw).trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let err = |message: String| ArffError::Parse {
+        line: line_no,
+        message,
+    };
+    if let Some(inner) = line.strip_prefix('{') {
+        let inner = inner
+            .strip_suffix('}')
+            .ok_or_else(|| err("sparse row missing closing '}'".into()))?;
+        let mut pairs = Vec::new();
+        for item in inner.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
             }
-            // WEKA requires ascending indices but we tolerate any order.
-            Ok(SparseVec::from_pairs(pairs))
-        } else {
-            let values: Vec<&str> = line.split(',').collect();
-            if values.len() != dim {
-                return Err(err(format!(
-                    "dense row has {} values, header declares {dim}",
-                    values.len()
-                )));
+            let (idx_s, val_s) = item
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| err(format!("sparse entry '{item}' lacks a value")))?;
+            let idx: u32 = idx_s
+                .trim()
+                .parse()
+                .map_err(|_| err(format!("bad index '{idx_s}'")))?;
+            if idx as usize >= dim {
+                return Err(err(format!("index {idx} out of range (dim {dim})")));
             }
-            let mut pairs = Vec::new();
-            for (i, v) in values.iter().enumerate() {
-                let x: f64 = v
-                    .trim()
-                    .parse()
-                    .map_err(|_| err(format!("bad value '{v}'")))?;
-                if x != 0.0 {
-                    pairs.push((i as u32, x));
-                }
+            let val_s = val_s.trim();
+            if val_s == "?" {
+                continue; // missing value: no weight
             }
-            Ok(SparseVec::from_pairs(pairs))
+            let val: f64 = val_s
+                .parse()
+                .map_err(|_| err(format!("bad value '{val_s}'")))?;
+            pairs.push((idx, val));
         }
+        // WEKA requires ascending indices but we tolerate any order.
+        Ok(Some(SparseVec::from_pairs(pairs)))
+    } else {
+        let values: Vec<&str> = line.split(',').collect();
+        if values.len() != dim {
+            return Err(err(format!(
+                "dense row has {} values, header declares {dim}",
+                values.len()
+            )));
+        }
+        let mut pairs = Vec::new();
+        for (i, v) in values.iter().enumerate() {
+            let v = v.trim();
+            if v == "?" {
+                continue; // missing value: no weight
+            }
+            let x: f64 = v.parse().map_err(|_| err(format!("bad value '{v}'")))?;
+            if x != 0.0 {
+                pairs.push((i as u32, x));
+            }
+        }
+        Ok(Some(SparseVec::from_pairs(pairs)))
     }
 }
 
@@ -306,6 +340,70 @@ mod tests {
     fn comment_inside_quotes_is_preserved() {
         let r = reader("@RELATION 'has % inside'\n@ATTRIBUTE a NUMERIC\n@DATA\n");
         assert_eq!(r.header().relation, "has % inside");
+    }
+
+    #[test]
+    fn missing_value_token_means_zero_weight() {
+        // WEKA writes `?` for missing values in both dense and sparse
+        // rows; a TF/IDF matrix treats missing as weight 0.
+        let mut r = reader(
+            "@RELATION r\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE b NUMERIC\n@ATTRIBUTE c NUMERIC\n\
+             @DATA\n?,2.5,?\n{0 1.5,1 ?}\n?,?,?\n",
+        );
+        let rows = r.read_all().unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].iter().collect::<Vec<_>>(), [(1, 2.5)]);
+        assert_eq!(rows[1].iter().collect::<Vec<_>>(), [(0, 1.5)]);
+        assert!(rows[2].is_empty(), "all-missing dense row sparsifies empty");
+    }
+
+    #[test]
+    fn question_mark_inside_a_value_is_still_an_error() {
+        let mut r = reader("@RELATION r\n@ATTRIBUTE a NUMERIC\n@DATA\n1.2?\n");
+        let e = r.next_row().unwrap_err();
+        assert!(e.to_string().contains("bad value"), "{e}");
+    }
+
+    #[test]
+    fn crlf_line_endings_parse_everywhere() {
+        let text = "@RELATION r\r\n\r\n@ATTRIBUTE a NUMERIC\r\n@ATTRIBUTE b NUMERIC\r\n\r\n\
+                    @DATA\r\n{0 1.5}\r\n0,2.25\r\n?,3\r\n";
+        let mut r = reader(text);
+        assert_eq!(r.header().dim(), 2);
+        let rows = r.read_all().unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].iter().collect::<Vec<_>>(), [(0, 1.5)]);
+        assert_eq!(rows[1].iter().collect::<Vec<_>>(), [(1, 2.25)]);
+        assert_eq!(rows[2].iter().collect::<Vec<_>>(), [(1, 3.0)]);
+    }
+
+    #[test]
+    fn quoted_attribute_names_with_comment_and_separator_chars() {
+        let r = reader(
+            "@RELATION r\n@ATTRIBUTE 'per%cent' NUMERIC\n@ATTRIBUTE 'com,ma' NUMERIC\n@DATA\n",
+        );
+        assert_eq!(r.header().attributes[0].name, "per%cent");
+        assert_eq!(r.header().attributes[1].name, "com,ma");
+    }
+
+    #[test]
+    fn parse_data_line_matches_streaming_reader() {
+        for (raw, dim) in [
+            ("{0 1.5,2 3}\n", 3),
+            ("0,2.5,0\r\n", 3),
+            ("  \n", 3),
+            ("% comment only\n", 3),
+            ("?,1,?\n", 3),
+        ] {
+            let parsed = parse_data_line(raw, dim, 1).unwrap();
+            // Feed the same line through the streaming path.
+            let mut text = String::from(
+                "@RELATION r\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE b NUMERIC\n@ATTRIBUTE c NUMERIC\n@DATA\n",
+            );
+            text.push_str(raw);
+            let mut full = ArffReader::new(Cursor::new(text.into_bytes())).unwrap();
+            assert_eq!(full.next_row().unwrap(), parsed, "line {raw:?}");
+        }
     }
 
     #[test]

@@ -27,6 +27,27 @@ impl<W: Write> ArffWriter<W> {
         }
     }
 
+    /// A writer that *continues* a stream whose header (of `dim`
+    /// attributes) was already emitted elsewhere — the pipelined ARFF
+    /// writer formats disjoint row chunks into separate buffers with one
+    /// continuation writer each, then concatenates the buffers in order.
+    /// Calling [`write_header`](Self::write_header) on a continuation
+    /// writer panics, exactly like writing a header twice.
+    pub fn continuation(out: W, dim: usize) -> Self {
+        ArffWriter {
+            out,
+            dim,
+            header_written: true,
+            rows: 0,
+        }
+    }
+
+    /// The inner writer (e.g. to read a `ByteCounter`'s running cost
+    /// while rows are still being written, or after a failure).
+    pub fn inner(&self) -> &W {
+        &self.out
+    }
+
     /// Write the `@RELATION`/`@ATTRIBUTE`/`@DATA` preamble. Must be called
     /// exactly once, before any row.
     pub fn write_header(&mut self, header: &ArffHeader) -> Result<(), ArffError> {

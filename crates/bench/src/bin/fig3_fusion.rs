@@ -2,12 +2,18 @@
 //!
 //! The discrete workflow materializes the TF/IDF matrix to an ARFF file
 //! on disk and reads it back for K-means; the merged workflow hands the
-//! matrix over in memory. Both I/O legs are single-threaded (ARFF). The
-//! paper (NSF Abstracts input): I/O adds 36.9% at one thread and makes
+//! matrix over in memory. The paper (NSF Abstracts input): with both I/O
+//! legs single-threaded (ARFF), I/O adds 36.9% at one thread and makes
 //! the 16-thread run 3.84x slower.
+//!
+//! Three arms: `discrete` pins `DiscreteIo::Serial` (the paper's
+//! configuration), `discrete-pipe` uses the pipelined ARFF round-trip
+//! (parallel format + ordered drain on the write, chunked parse on the
+//! read), and `merged` fuses. The pipeline narrows the gap but cannot
+//! close it — the fused workflow skips the round-trip entirely.
 
 use hpa_bench::BenchConfig;
-use hpa_core::WorkflowBuilder;
+use hpa_core::{DiscreteIo, WorkflowBuilder};
 use hpa_dict::DictKind;
 use hpa_kmeans::KMeansConfig;
 use hpa_metrics::{ExperimentReport, Table};
@@ -73,15 +79,19 @@ fn main() {
     headers.push("total");
     let mut table = Table::new("Figure 3: execution time by phase (seconds)", &headers);
 
-    let mut totals: Vec<(usize, f64, f64)> = Vec::new(); // (threads, discrete, merged)
+    // (threads, discrete-serial, discrete-pipelined, merged)
+    let mut totals: Vec<(usize, f64, f64, f64)> = Vec::new();
     for &t in &threads {
-        let mut row_totals = (0.0, 0.0);
-        for (variant, is_discrete) in [("discrete", true), ("merged", false)] {
+        let mut row_totals = (0.0, 0.0, 0.0);
+        for (variant, io) in [
+            ("discrete", Some(DiscreteIo::Serial)),
+            ("discrete-pipe", Some(DiscreteIo::Pipelined)),
+            ("merged", None),
+        ] {
             let exec = cfg.mode.exec(t);
-            let wf = if is_discrete {
-                builder().discrete()
-            } else {
-                builder().fused()
+            let wf = match io {
+                Some(io) => builder().discrete_io(io).discrete(),
+                None => builder().fused(),
             };
             let out = wf.run(&corpus, &exec).expect("workflow runs");
             let mut row = vec![t.to_string(), variant.to_string()];
@@ -92,30 +102,42 @@ fn main() {
             let total = out.phases.total().as_secs_f64();
             row.push(format!("{total:.3}"));
             table.row(&row);
-            if is_discrete {
-                row_totals.0 = total;
-            } else {
-                row_totals.1 = total;
+            match io {
+                Some(DiscreteIo::Serial) => row_totals.0 = total,
+                Some(DiscreteIo::Pipelined) => row_totals.1 = total,
+                None => row_totals.2 = total,
             }
             eprintln!("threads={t} {variant}: {total:.3}s");
         }
-        totals.push((t, row_totals.0, row_totals.1));
+        totals.push((t, row_totals.0, row_totals.1, row_totals.2));
     }
     report.add_table(table);
 
     let mut ratio_table = Table::new(
         "Discrete/merged slowdown (paper: 1.369x at 1 thread, 3.84x at 16)",
-        &["threads", "discrete (s)", "merged (s)", "slowdown"],
+        &[
+            "threads",
+            "discrete (s)",
+            "pipelined (s)",
+            "merged (s)",
+            "slowdown",
+            "pipelined slowdown",
+        ],
     );
-    for (t, d, m) in &totals {
+    for (t, d, p, m) in &totals {
         ratio_table.row(&[
             t.to_string(),
             format!("{d:.3}"),
+            format!("{p:.3}"),
             format!("{m:.3}"),
             format!("{:.2}x", d / m),
+            format!("{:.2}x", p / m),
         ]);
     }
     report.add_table(ratio_table);
-    report.note("discrete adds serial tfidf-output + kmeans-input phases; both shrink nothing as threads grow");
+    report.note(
+        "discrete adds serial tfidf-output + kmeans-input phases that shrink nothing as threads \
+         grow; the pipelined round-trip (discrete-pipe) narrows but cannot close the gap",
+    );
     cfg.emit(&report);
 }

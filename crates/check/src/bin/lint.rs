@@ -45,6 +45,7 @@ const UNSAFE_CRATE_ALLOWLIST: &[&str] = &["exec", "metrics", "check"];
 const SHIMMED_FILES: &[&str] = &[
     "crates/exec/src/deque.rs",
     "crates/io/src/channel.rs",
+    "crates/io/src/seq.rs",
     "crates/dict/src/sharded.rs",
 ];
 
@@ -55,6 +56,7 @@ const RELAXED_FILE_ALLOWLIST: &[&str] = &[
     "crates/trace/src/lib.rs",     // enabled flag + tid allocator
     "crates/dict/src/sharded.rs",  // per-shard stat counters
     "crates/check/src/sched.rs",   // ObjCell ids, guarded by the scheduler lock
+    "crates/core/src/lib.rs",      // discrete-run id allocator (uniqueness only)
 ];
 
 // ---- needle construction ------------------------------------------------

@@ -1,0 +1,156 @@
+//! Model-check suite for `hpa_io::Sequencer` — the order-restoring stage
+//! the pipelined ARFF writer puts in front of its bounded drain channel.
+//! Exhaustively explores producer/consumer interleavings, out-of-order
+//! arrival, and both close-while-blocked directions.
+//!
+//! Run with `cargo test -p hpa-check --features model-check`.
+#![cfg(feature = "model-check")]
+
+use hpa_check as check;
+use hpa_io::channel::{bounded, RecvError};
+use hpa_io::seq::Disconnected;
+use hpa_io::Sequencer;
+use std::sync::Arc;
+
+/// Out-of-order arrival: one producer delivers sequence 1, another
+/// sequence 0. Whatever order they run in, the consumer observes the
+/// values in sequence order — the FIFO the ARFF byte stream depends on.
+#[test]
+fn out_of_order_producers_deliver_in_sequence_order() {
+    let report = check::model(|| {
+        let (tx, rx) = bounded(2);
+        let seq = Arc::new(Sequencer::new(tx));
+        let a = {
+            let seq = Arc::clone(&seq);
+            check::thread::spawn(move || seq.push(1, "second").unwrap())
+        };
+        let b = {
+            let seq = Arc::clone(&seq);
+            check::thread::spawn(move || seq.push(0, "first").unwrap())
+        };
+        a.join().unwrap();
+        b.join().unwrap();
+        seq.close();
+        assert_eq!(rx.recv(), Ok("first"), "sequence 0 always arrives first");
+        assert_eq!(rx.recv(), Ok("second"));
+        assert_eq!(rx.recv(), Err(RecvError), "close ends the stream");
+    });
+    assert!(report.error.is_none(), "{report:?}");
+    assert!(report.interleavings >= 2, "{report:?}");
+}
+
+/// Producer/consumer over a cap-1 channel: pushes must funnel through the
+/// channel's blocking path while the consumer drains concurrently; every
+/// schedule delivers 0,1,2 in order with no deadlock.
+#[test]
+fn backpressured_pushes_drain_in_order() {
+    let report = check::model(|| {
+        let (tx, rx) = bounded(1);
+        let seq = Sequencer::new(tx);
+        let producer = check::thread::spawn(move || {
+            for i in 0u64..3 {
+                seq.push(i, i * 10).unwrap();
+            }
+            seq.close();
+        });
+        for expect in 0u64..3 {
+            assert_eq!(rx.recv(), Ok(expect * 10), "FIFO order must hold");
+        }
+        assert_eq!(rx.recv(), Err(RecvError));
+        producer.join().unwrap();
+    });
+    assert!(report.error.is_none(), "{report:?}");
+    assert!(report.interleavings >= 2, "{report:?}");
+}
+
+/// Close-while-blocked, producer side: the channel is full, a push blocks
+/// inside the channel send (while holding the sequencer lock), and the
+/// receiver is dropped without draining. The blocked push must fail with
+/// `Disconnected` in every interleaving — never hang — and later pushes
+/// fail immediately.
+#[test]
+fn receiver_drop_unblocks_a_parked_push() {
+    let report = check::model(|| {
+        let (tx, rx) = bounded(1);
+        let seq = Arc::new(Sequencer::new(tx));
+        seq.push(0, 0u64).unwrap(); // fill the channel
+        let producer = {
+            let seq = Arc::clone(&seq);
+            check::thread::spawn(move || seq.push(1, 1))
+        };
+        drop(rx); // never drains
+        assert_eq!(
+            producer.join().unwrap(),
+            Err(Disconnected),
+            "blocked push must fail, not hang"
+        );
+        assert_eq!(seq.push(2, 2), Err(Disconnected), "sequencer stays dead");
+    });
+    assert!(report.error.is_none(), "{report:?}");
+    assert!(report.interleavings >= 2, "{report:?}");
+}
+
+/// Close-while-blocked, consumer side: the drain thread is parked in
+/// `recv` on an empty channel when the formatters finish and the
+/// sequencer closes. The park must resolve to `RecvError` (end of
+/// stream) in every schedule — this is how the ARFF drain thread learns
+/// the file is complete.
+#[test]
+fn close_unblocks_a_parked_consumer() {
+    let report = check::model(|| {
+        let (tx, rx) = bounded::<u64>(1);
+        let seq = Sequencer::new(tx);
+        let consumer = check::thread::spawn(move || rx.recv());
+        seq.close();
+        assert_eq!(
+            consumer.join().unwrap(),
+            Err(RecvError),
+            "close must resolve a parked recv to end-of-stream, not hang"
+        );
+    });
+    assert!(report.error.is_none(), "{report:?}");
+    assert!(report.interleavings >= 2, "{report:?}");
+}
+
+/// Striped parallel producers (the pipelined writer's worker pool in
+/// miniature): two workers push interleaved sequence numbers through a
+/// cap-1 channel while the consumer drains. All values arrive exactly
+/// once, in ascending sequence order, in every schedule.
+#[test]
+fn striped_producers_preserve_global_order() {
+    let report = check::model_with(
+        check::CheckConfig {
+            max_interleavings: 30_000,
+            ..check::CheckConfig::default()
+        },
+        || {
+            let (tx, rx) = bounded(1);
+            let seq = Arc::new(Sequencer::new(tx));
+            let workers: Vec<_> = (0..2u64)
+                .map(|w| {
+                    let seq = Arc::clone(&seq);
+                    check::thread::spawn(move || {
+                        let mut i = w;
+                        while i < 4 {
+                            seq.push(i, i).unwrap();
+                            i += 2;
+                        }
+                    })
+                })
+                .collect();
+            let consumer = check::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            });
+            for w in workers {
+                w.join().unwrap();
+            }
+            seq.close();
+            assert_eq!(consumer.join().unwrap(), [0, 1, 2, 3]);
+        },
+    );
+    assert!(report.error.is_none(), "{report:?}");
+}

@@ -36,6 +36,32 @@ use hpa_kmeans::KMeansConfig;
 use hpa_metrics::{PhaseReport, PhaseTimer};
 use hpa_tfidf::TfIdfConfig;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide counter distinguishing concurrent discrete runs: two
+/// workflows over the same corpus in one process must never share an
+/// intermediate path (pid alone is not enough).
+static DISCRETE_RUN: AtomicU64 = AtomicU64::new(0);
+
+/// Removes the intermediate ARFF file — and the temporary directory, when
+/// this run created it — whatever way the discrete arm exits. Before this
+/// guard, the file leaked whenever the read-back failed, and the
+/// directory leaked always.
+struct IntermediateGuard {
+    file: PathBuf,
+    /// `Some` only for the fresh `temp_dir()` subdirectory this run made;
+    /// caller-supplied directories are never deleted.
+    owned_dir: Option<PathBuf>,
+}
+
+impl Drop for IntermediateGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.file);
+        if let Some(dir) = &self.owned_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
 
 /// Sample the live-heap counter into the trace (no-op when tracing is off
 /// or the counting allocator is not installed). Called at phase
@@ -59,6 +85,24 @@ pub enum Strategy {
         /// Directory for the intermediate file.
         dir: Option<PathBuf>,
     },
+}
+
+/// How the discrete strategy moves the intermediate through the ARFF
+/// file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DiscreteIo {
+    /// Pipelined round-trip: row formatting runs chunk-parallel behind a
+    /// single ordered drain thread on the write side
+    /// ([`hpa_tfidf::write_arff_overlapped`]); the read side parses
+    /// line-aligned chunks in parallel
+    /// ([`hpa_tfidf::read_arff_parallel`]). Bytes and values are
+    /// identical to [`Serial`](DiscreteIo::Serial) — only the schedule
+    /// differs.
+    #[default]
+    Pipelined,
+    /// The fully serial encode/decode, as the paper's Figure 3 measured
+    /// it.
+    Serial,
 }
 
 /// Errors a workflow run can surface.
@@ -116,6 +160,7 @@ pub struct WorkflowOutcome {
 pub struct WorkflowBuilder {
     tfidf: TfIdfConfig,
     kmeans: KMeansConfig,
+    discrete_io: DiscreteIo,
 }
 
 impl WorkflowBuilder {
@@ -136,33 +181,36 @@ impl WorkflowBuilder {
         self
     }
 
-    /// Finish as a fused ("merged") workflow.
-    pub fn fused(self) -> Workflow {
+    /// Set the discrete ARFF round-trip mode (default: pipelined).
+    pub fn discrete_io(mut self, io: DiscreteIo) -> Self {
+        self.discrete_io = io;
+        self
+    }
+
+    fn build(self, strategy: Strategy) -> Workflow {
         Workflow {
             tfidf: self.tfidf,
             kmeans: self.kmeans,
-            strategy: Strategy::Fused,
+            strategy,
+            discrete_io: self.discrete_io,
         }
+    }
+
+    /// Finish as a fused ("merged") workflow.
+    pub fn fused(self) -> Workflow {
+        self.build(Strategy::Fused)
     }
 
     /// Finish as a discrete workflow using a fresh temporary directory
     /// for the intermediate ARFF file.
     pub fn discrete(self) -> Workflow {
-        Workflow {
-            tfidf: self.tfidf,
-            kmeans: self.kmeans,
-            strategy: Strategy::Discrete { dir: None },
-        }
+        self.build(Strategy::Discrete { dir: None })
     }
 
     /// Finish as a discrete workflow with an explicit intermediate
     /// directory.
     pub fn discrete_in(self, dir: PathBuf) -> Workflow {
-        Workflow {
-            tfidf: self.tfidf,
-            kmeans: self.kmeans,
-            strategy: Strategy::Discrete { dir: Some(dir) },
-        }
+        self.build(Strategy::Discrete { dir: Some(dir) })
     }
 }
 
@@ -175,6 +223,8 @@ pub struct Workflow {
     pub kmeans: KMeansConfig,
     /// Composition strategy.
     pub strategy: Strategy,
+    /// ARFF round-trip mode for the discrete strategy.
+    pub discrete_io: DiscreteIo,
 }
 
 impl Workflow {
@@ -201,40 +251,69 @@ impl Workflow {
                 let model = tfidf_op.run(&mut ctx, corpus)?;
 
                 // Materialize the intermediate to disk, then read it back
-                // — the discrete workflow's extra cost. Serial in both
-                // directions, per the ARFF format.
-                let tmp;
-                let dir = match dir {
-                    Some(d) => d.clone(),
+                // — the discrete workflow's extra cost. The ARFF *stream*
+                // is serial by format, but formatting and parsing
+                // pipeline around it (`DiscreteIo::Pipelined`).
+                //
+                // The path carries a process-wide run counter so
+                // concurrent runs — even over the same corpus — never
+                // collide on the intermediate.
+                let run_id = DISCRETE_RUN.fetch_add(1, Ordering::Relaxed);
+                let file_name = format!("tfidf_{run_id}.arff");
+                let (dir, owned_dir) = match dir {
+                    Some(d) => (d.clone(), None),
                     None => {
-                        tmp = std::env::temp_dir().join(format!(
-                            "hpa_workflow_{}_{}",
+                        let sanitized: String = corpus
+                            .name
+                            .chars()
+                            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                            .collect();
+                        let tmp = std::env::temp_dir().join(format!(
+                            "hpa_workflow_{}_{run_id}_{sanitized}",
                             std::process::id(),
-                            corpus.name.replace(' ', "_")
                         ));
-                        tmp.clone()
+                        (tmp.clone(), Some(tmp))
                     }
                 };
                 std::fs::create_dir_all(&dir)?;
-                let path = dir.join("tfidf.arff");
+                let path = dir.join(file_name);
+                // From here on, every exit — success, ARFF failure, I/O
+                // failure — removes the intermediate (and the temp dir,
+                // when this run created one).
+                let _cleanup = IntermediateGuard {
+                    file: path.clone(),
+                    owned_dir,
+                };
 
                 let span = hpa_trace::span!("phase", "tfidf-output");
                 let t0 = ctx.exec.now();
                 let file = std::io::BufWriter::new(std::fs::File::create(&path)?);
-                hpa_tfidf::write_arff(ctx.exec, &model, file)?;
+                match self.discrete_io {
+                    DiscreteIo::Pipelined => {
+                        hpa_tfidf::write_arff_overlapped(ctx.exec, &model, file)?;
+                    }
+                    DiscreteIo::Serial => {
+                        hpa_tfidf::write_arff(ctx.exec, &model, file)?;
+                    }
+                }
                 ctx.timer.record("tfidf-output", ctx.exec.now() - t0);
                 drop(span);
                 drop(model);
                 sample_heap();
 
+                #[cfg(test)]
+                fault::maybe_fail_before_read()?;
+
                 let span = hpa_trace::span!("phase", "kmeans-input");
                 let t0 = ctx.exec.now();
                 let file = std::io::BufReader::new(std::fs::File::open(&path)?);
-                let (vectors, dim) = hpa_tfidf::read_arff(ctx.exec, file)?;
+                let (vectors, dim) = match self.discrete_io {
+                    DiscreteIo::Pipelined => hpa_tfidf::read_arff_parallel(ctx.exec, file)?,
+                    DiscreteIo::Serial => hpa_tfidf::read_arff(ctx.exec, file)?,
+                };
                 ctx.timer.record("kmeans-input", ctx.exec.now() - t0);
                 drop(span);
                 sample_heap();
-                std::fs::remove_file(&path).ok();
                 (vectors, dim)
             }
         };
@@ -272,6 +351,34 @@ impl Workflow {
             phases: timer.finish(),
             output,
         })
+    }
+}
+
+/// Test-only fault injection: flag a one-shot failure between the
+/// intermediate write and its read-back, on the current thread only (the
+/// sequential executor runs phases on the calling thread, so parallel
+/// tests stay independent).
+#[cfg(test)]
+mod fault {
+    use std::cell::Cell;
+
+    thread_local! {
+        static FAIL_BEFORE_READ: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Arm the fault for the next discrete run on this thread.
+    pub fn arm_fail_before_read() {
+        FAIL_BEFORE_READ.with(|f| f.set(true));
+    }
+
+    pub fn maybe_fail_before_read() -> std::io::Result<()> {
+        if FAIL_BEFORE_READ.with(|f| f.replace(false)) {
+            Err(std::io::Error::other(
+                "injected failure between write and read",
+            ))
+        } else {
+            Ok(())
+        }
     }
 }
 
@@ -359,6 +466,123 @@ mod tests {
             discrete > fused,
             "discrete {discrete:?} not slower than fused {fused:?}"
         );
+    }
+
+    /// Entries in `temp_dir()` left behind for a corpus of this name by
+    /// this process (empty unless an intermediate leaked).
+    fn leftover_intermediates(corpus_name: &str) -> Vec<PathBuf> {
+        let marker = format!("_{corpus_name}");
+        let prefix = format!("hpa_workflow_{}_", std::process::id());
+        std::fs::read_dir(std::env::temp_dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with(&prefix) && n.ends_with(&marker))
+            })
+            .collect()
+    }
+
+    fn named_corpus(name: &str) -> Corpus {
+        let mut c = small_corpus();
+        c.name = name.to_string();
+        c
+    }
+
+    #[test]
+    fn discrete_serial_and_pipelined_io_agree() {
+        let corpus = small_corpus();
+        for exec in [Exec::sequential(), Exec::pool(3)] {
+            let serial = builder()
+                .discrete_io(DiscreteIo::Serial)
+                .discrete()
+                .run(&corpus, &exec)
+                .unwrap();
+            let pipelined = builder()
+                .discrete_io(DiscreteIo::Pipelined)
+                .discrete()
+                .run(&corpus, &exec)
+                .unwrap();
+            assert_eq!(serial.assignments, pipelined.assignments);
+            assert_eq!(serial.dim, pipelined.dim);
+            assert!((serial.inertia - pipelined.inertia).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn concurrent_discrete_runs_share_no_intermediate() {
+        // Regression: the intermediate path used to be keyed on
+        // (pid, corpus name) alone, so two simultaneous runs over the
+        // same corpus raced on one file.
+        let corpus = std::sync::Arc::new(named_corpus("samecorpus"));
+        let outcomes: Vec<_> = std::thread::scope(|s| {
+            (0..2)
+                .map(|_| {
+                    let corpus = std::sync::Arc::clone(&corpus);
+                    s.spawn(move || {
+                        builder()
+                            .discrete()
+                            .run(&corpus, &Exec::sequential())
+                            .unwrap()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(outcomes[0].assignments, outcomes[1].assignments);
+        assert!(
+            leftover_intermediates("samecorpus").is_empty(),
+            "both runs must clean up after themselves"
+        );
+    }
+
+    #[test]
+    fn failed_discrete_run_leaves_no_intermediates() {
+        // Regression: a failure between the write and the read-back used
+        // to leak the ARFF file, and the temp directory leaked always.
+        let corpus = named_corpus("guardtest");
+        fault::arm_fail_before_read();
+        let err = builder()
+            .discrete()
+            .run(&corpus, &Exec::sequential())
+            .unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        assert!(
+            leftover_intermediates("guardtest").is_empty(),
+            "failed run must remove its intermediate file and directory"
+        );
+    }
+
+    #[test]
+    fn successful_discrete_run_leaves_no_intermediates() {
+        let corpus = named_corpus("cleancorpus");
+        builder()
+            .discrete()
+            .run(&corpus, &Exec::sequential())
+            .unwrap();
+        assert!(leftover_intermediates("cleancorpus").is_empty());
+    }
+
+    #[test]
+    fn explicit_intermediate_dir_is_preserved() {
+        let dir = std::env::temp_dir().join(format!("hpa_userdir_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpus = small_corpus();
+        builder()
+            .discrete_in(dir.clone())
+            .run(&corpus, &Exec::sequential())
+            .unwrap();
+        assert!(dir.is_dir(), "caller-supplied directory must survive");
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            0,
+            "but the intermediate file inside it is removed"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

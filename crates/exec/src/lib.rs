@@ -235,6 +235,66 @@ impl Exec {
         }
     }
 
+    /// Parallel loop over chunk ranges whose products are drained by a
+    /// **concurrent serial consumer** — the overlapped-output shape of
+    /// the pipelined ARFF writer, where chunk formatting runs in
+    /// parallel while a dedicated thread writes completed buffers to
+    /// disk in order.
+    ///
+    /// `drain` is invoked exactly once, after every chunk body has run,
+    /// in every mode; it must perform whatever synchronization hands the
+    /// region's products to the consumer and shuts the consumer down
+    /// (drop the channel sender, join the drain thread), and it returns
+    /// the consumer's total resource demand.
+    ///
+    /// On real executors the overlap is physical (the drain thread runs
+    /// concurrently with the pool) and the returned cost is ignored.
+    /// Under the simulator the region and the drain overlap on the
+    /// virtual clock: time advances by `max(region elapsed, drain
+    /// time)`, total work by their sum — the drain is a single ordered
+    /// stream, so it contributes its full serial time to the span but
+    /// hides behind the region whenever formatting is the bottleneck.
+    pub fn par_chunks_overlapped<B, C, D>(&self, n: usize, grain: usize, body: B, cost: C, drain: D)
+    where
+        B: Fn(Range<usize>) + Sync,
+        C: Fn(Range<usize>) -> TaskCost + Sync,
+        D: FnOnce() -> TaskCost,
+    {
+        match &self.mode {
+            Mode::Sim(s) => {
+                let ranges = if n == 0 {
+                    Vec::new()
+                } else {
+                    chunk_ranges(n, self.effective_grain(n, grain))
+                };
+                let mut times = Vec::with_capacity(ranges.len());
+                let mut totals = TaskCost::default();
+                for r in ranges {
+                    let declared = cost(r.clone());
+                    totals += declared;
+                    let t0 = Instant::now();
+                    body(r);
+                    let measured = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                    let cpu = s.machine.effective_cpu_ns(&declared, measured, s.cost_mode);
+                    times.push((cpu, declared));
+                }
+                let tasks = times.len() as u64;
+                let sched = sim::schedule_region(&s.machine, s.cores, &times, &totals);
+                let t0 = Instant::now();
+                let drain_cost = drain();
+                let drain_measured = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                let drain_ns = s
+                    .machine
+                    .serial_ns(&drain_cost, drain_measured, s.cost_mode);
+                s.state.lock().advance_overlapped(sched, tasks, drain_ns);
+            }
+            _ => {
+                self.par_chunks(n, grain, body, cost);
+                let _ = drain();
+            }
+        }
+    }
+
     /// Parallel fold/reduce over `0..n`: each chunk folds into a local
     /// accumulator created by `identity`; partial accumulators are then
     /// combined by a pairwise **tree reduction** (parallel rounds, like
@@ -492,6 +552,58 @@ mod tests {
         let out = exec.serial(TaskCost::cpu(5_000_000), || 42);
         assert_eq!(out, 42);
         assert_eq!(exec.now(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn overlapped_region_advances_by_the_slower_side() {
+        // 8 chunks x 1ms on 4 cores = 2ms region; a 3ms drain dominates.
+        let exec = Exec::simulated_with(4, MachineModel::frictionless(), CostMode::Analytic);
+        let drained = AtomicUsize::new(0);
+        exec.par_chunks_overlapped(
+            8,
+            1,
+            |_| {},
+            |_| TaskCost::cpu(1_000_000),
+            || {
+                drained.fetch_add(1, Ordering::Relaxed);
+                TaskCost::cpu(3_000_000)
+            },
+        );
+        assert_eq!(
+            drained.load(Ordering::Relaxed),
+            1,
+            "drain runs exactly once"
+        );
+        assert_eq!(exec.now(), Duration::from_millis(3));
+
+        // A 1ms drain hides entirely behind the same 2ms region.
+        let exec = Exec::simulated_with(4, MachineModel::frictionless(), CostMode::Analytic);
+        exec.par_chunks_overlapped(
+            8,
+            1,
+            |_| {},
+            |_| TaskCost::cpu(1_000_000),
+            || TaskCost::cpu(1_000_000),
+        );
+        assert_eq!(exec.now(), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn overlapped_drain_runs_in_every_mode_even_when_empty() {
+        for exec in all_execs() {
+            let drained = AtomicUsize::new(0);
+            exec.par_chunks_overlapped(
+                0,
+                1,
+                |_| panic!("no chunks to run"),
+                |_| TaskCost::default(),
+                || {
+                    drained.fetch_add(1, Ordering::Relaxed);
+                    TaskCost::default()
+                },
+            );
+            assert_eq!(drained.load(Ordering::Relaxed), 1, "{exec:?}");
+        }
     }
 
     #[test]

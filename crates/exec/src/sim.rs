@@ -178,6 +178,18 @@ impl SimState {
         self.span_ns += sched.span_ns as u128;
         self.tasks += tasks;
     }
+
+    /// Advance by a parallel region overlapped with a concurrent serial
+    /// drain of its products (`Exec::par_chunks_overlapped`): the clock
+    /// moves by whichever side is the bottleneck, the work tally by
+    /// both, and the drain — a single ordered stream — extends the
+    /// critical path when it outlasts the region's longest task.
+    pub fn advance_overlapped(&mut self, sched: RegionSchedule, tasks: u64, drain_ns: u64) {
+        self.clock_ns += sched.elapsed_ns.max(drain_ns) as u128;
+        self.work_ns += sched.work_ns as u128 + drain_ns as u128;
+        self.span_ns += sched.span_ns.max(drain_ns) as u128;
+        self.tasks += tasks + u64::from(drain_ns > 0);
+    }
 }
 
 /// Schedule a flat parallel region of tasks onto `cores` cores of `machine`.
@@ -420,6 +432,32 @@ mod tests {
         assert_eq!(ns, 777);
         let ns = m.serial_ns(&TaskCost::cpu(777), 12345, CostMode::Measured);
         assert_eq!(ns, 12345);
+    }
+
+    #[test]
+    fn advance_overlapped_charges_bottleneck_only() {
+        let sched = RegionSchedule {
+            elapsed_ns: 200,
+            work_ns: 700,
+            span_ns: 50,
+        };
+        // Drain slower than the region: it sets clock and span.
+        let mut st = SimState::default();
+        st.advance_overlapped(sched, 7, 500);
+        assert_eq!(st.clock_ns, 500);
+        assert_eq!(st.work_ns, 1200);
+        assert_eq!(st.span_ns, 500);
+        assert_eq!(st.tasks, 8);
+        // Drain hidden behind the region: clock is the region's.
+        let mut st = SimState::default();
+        st.advance_overlapped(sched, 7, 100);
+        assert_eq!(st.clock_ns, 200);
+        assert_eq!(st.work_ns, 800);
+        assert_eq!(st.span_ns, 100);
+        // Zero drain contributes no phantom task.
+        let mut st = SimState::default();
+        st.advance_overlapped(sched, 7, 0);
+        assert_eq!(st.tasks, 7);
     }
 
     #[test]

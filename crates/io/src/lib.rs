@@ -12,6 +12,9 @@
 //!   simulator can apply its storage-device model;
 //! * [`ReadAhead`] — a background prefetcher that overlaps file reads
 //!   with the consumer's compute (bounded channel, one producer thread);
+//! * [`Sequencer`] — an order-restoring stage in front of the bounded
+//!   channel, so parallel producers feed a strictly ordered consumer
+//!   (the pipelined ARFF writer's drain thread);
 //! * [`ByteCounter`] — a `Write` adapter that accounts bytes and
 //!   operations, turning any serial output path (e.g. the ARFF writer)
 //!   into a [`TaskCost`] for the simulator.
@@ -19,9 +22,11 @@
 pub mod channel;
 pub mod counter;
 pub mod readahead;
+pub mod seq;
 
 pub use counter::ByteCounter;
 pub use readahead::ReadAhead;
+pub use seq::Sequencer;
 
 use hpa_exec::sync::Mutex;
 use hpa_exec::{Exec, TaskCost};

@@ -1,0 +1,198 @@
+//! Order-preserving front end for the bounded channel.
+//!
+//! The pipelined ARFF writer formats row chunks in parallel, but the
+//! format itself demands a single ordered byte stream: chunk `i` must
+//! reach the drain thread before chunk `i + 1`, whatever order the
+//! workers finish in. [`Sequencer`] is that reorder stage: producers
+//! [`push`](Sequencer::push) `(sequence, value)` pairs in any order and
+//! the underlying [`Sender`] only ever observes values in strictly
+//! ascending sequence order, 0, 1, 2, ... with no gaps.
+//!
+//! Values that arrive early are parked in a small pending map; the
+//! producer that delivers the next expected sequence number forwards it
+//! *and* any directly following parked values in one sweep, blocking on
+//! the bounded channel's backpressure as needed. Synchronization comes
+//! from the `hpa_exec::sync` facade, so under the `model-check` feature
+//! the whole protocol — including close-while-blocked and out-of-order
+//! arrival — is exhaustively explored in
+//! `crates/check/tests/model_seq.rs`.
+
+use crate::channel::Sender;
+use hpa_exec::sync::Mutex;
+use std::collections::BTreeMap;
+
+/// The receiving side of the channel disappeared: the consumer is gone
+/// and no further values can be delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected;
+
+struct SeqState<T> {
+    /// `None` once closed or disconnected (dropping it releases the
+    /// channel's sender count, which is what ends the consumer's loop).
+    tx: Option<Sender<T>>,
+    /// Next sequence number the channel is owed.
+    next: u64,
+    /// Early arrivals, keyed by sequence number.
+    pending: BTreeMap<u64, T>,
+}
+
+/// Order-restoring adapter in front of a bounded [`Sender`].
+pub struct Sequencer<T> {
+    state: Mutex<SeqState<T>>,
+}
+
+impl<T> Sequencer<T> {
+    /// Wrap `tx`; the first value forwarded will be sequence 0.
+    pub fn new(tx: Sender<T>) -> Self {
+        Sequencer {
+            state: Mutex::new(SeqState {
+                tx: Some(tx),
+                next: 0,
+                pending: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Hand over the value for sequence number `seq` (each number must be
+    /// pushed exactly once). Forwards every consecutively-ready value to
+    /// the channel, blocking on its capacity; values ahead of their turn
+    /// are parked. Fails once the receiver is gone — parked values are
+    /// dropped, and every later push fails immediately.
+    pub fn push(&self, seq: u64, value: T) -> Result<(), Disconnected> {
+        let mut st = self.state.lock();
+        if st.tx.is_none() {
+            return Err(Disconnected);
+        }
+        debug_assert!(
+            seq >= st.next && !st.pending.contains_key(&seq),
+            "sequence {seq} pushed twice"
+        );
+        st.pending.insert(seq, value);
+        while let Some(v) = {
+            let key = st.next;
+            st.pending.remove(&key)
+        } {
+            // Send while holding the lock: concurrent producers queue on
+            // the lock instead of racing the channel, which is what makes
+            // the ascending-order guarantee hold under backpressure. The
+            // consumer never takes this lock, so it can always drain.
+            let tx = st.tx.as_ref().expect("checked above");
+            if tx.send(v).is_err() {
+                st.tx = None;
+                st.pending.clear();
+                return Err(Disconnected);
+            }
+            st.next += 1;
+        }
+        Ok(())
+    }
+
+    /// Drop the underlying sender, signalling end-of-stream to the
+    /// receiver once the queue drains. Parked out-of-order values (none,
+    /// unless a producer failed mid-stream) are discarded.
+    pub fn close(&self) {
+        let mut st = self.state.lock();
+        st.tx = None;
+        st.pending.clear();
+    }
+
+    /// Values parked waiting for their turn (racy snapshot; metrics only).
+    pub fn parked(&self) -> usize {
+        self.state.lock().pending.len()
+    }
+
+    /// Sequence number the channel is owed next (racy snapshot).
+    pub fn next_seq(&self) -> u64 {
+        self.state.lock().next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{bounded, RecvError};
+
+    #[test]
+    fn in_order_pushes_flow_straight_through() {
+        let (tx, rx) = bounded(4);
+        let seq = Sequencer::new(tx);
+        for i in 0..4u64 {
+            seq.push(i, i * 10).unwrap();
+        }
+        assert_eq!(seq.parked(), 0);
+        for i in 0..4u64 {
+            assert_eq!(rx.recv(), Ok(i * 10));
+        }
+    }
+
+    #[test]
+    fn out_of_order_pushes_are_reordered() {
+        let (tx, rx) = bounded(8);
+        let seq = Sequencer::new(tx);
+        seq.push(2, "c").unwrap();
+        seq.push(1, "b").unwrap();
+        assert_eq!(seq.parked(), 2, "nothing released before seq 0");
+        assert_eq!(rx.try_recv(), None);
+        seq.push(0, "a").unwrap();
+        assert_eq!(seq.parked(), 0);
+        seq.push(3, "d").unwrap();
+        let got: Vec<&str> = (0..4).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, ["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn close_signals_end_of_stream() {
+        let (tx, rx) = bounded(2);
+        let seq = Sequencer::new(tx);
+        seq.push(0, 7).unwrap();
+        seq.close();
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(seq.push(1, 8), Err(Disconnected), "closed sequencer");
+    }
+
+    #[test]
+    fn receiver_drop_fails_pushes_without_hanging() {
+        let (tx, rx) = bounded(1);
+        let seq = Sequencer::new(tx);
+        seq.push(0, 1u64).unwrap(); // fills the queue
+        drop(rx);
+        // Queue full + receiver gone: must error, not block forever.
+        assert_eq!(seq.push(1, 2), Err(Disconnected));
+        assert_eq!(seq.push(2, 3), Err(Disconnected), "stays dead");
+        assert_eq!(seq.parked(), 0, "parked values dropped on disconnect");
+    }
+
+    #[test]
+    fn parallel_producers_preserve_order() {
+        let (tx, rx) = bounded(2);
+        let seq = std::sync::Arc::new(Sequencer::new(tx));
+        let n = 64u64;
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            got
+        });
+        let mut handles = Vec::new();
+        for worker in 0..4u64 {
+            let seq = std::sync::Arc::clone(&seq);
+            handles.push(std::thread::spawn(move || {
+                // Stripe the sequence space so workers interleave and
+                // regularly arrive out of order.
+                let mut i = worker;
+                while i < n {
+                    seq.push(i, i).unwrap();
+                    i += 4;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        seq.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, (0..n).collect::<Vec<_>>());
+    }
+}

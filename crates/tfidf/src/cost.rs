@@ -170,6 +170,79 @@ pub fn arff_read_cost(rows: &[hpa_sparse::SparseVec], dim: usize) -> TaskCost {
     }
 }
 
+/// Text bytes per sparse ARFF entry (`"{i w,...}"` ≈ 22 bytes/entry) —
+/// the same constant [`arff_read_cost`] uses, shared by the chunked
+/// format/parse estimates so the split phases sum to the serial model.
+pub const ARFF_BYTES_PER_ENTRY: u64 = 22;
+
+/// Formatting share of [`hpa_io::counter::WRITE_CPU_NS_PER_BYTE`]: the
+/// ftoa/itoa work that the pipelined writer's *parallel* format stage
+/// performs. Together with [`DRAIN_CPU_NS_PER_BYTE`] it sums to the
+/// serial writer's 1.2 ns/byte, so pipelined and serial runs charge the
+/// same total work — only the schedule differs.
+pub const FORMAT_CPU_NS_PER_BYTE: f64 = 1.0;
+
+/// Drain share of the write cost: the single ordered thread that copies
+/// formatted buffers to the file (memcpy into the page cache).
+pub const DRAIN_CPU_NS_PER_BYTE: f64 = 0.2;
+
+/// Cost of formatting one chunk of sparse rows into an in-memory buffer
+/// (the parallel stage of the pipelined ARFF writer). Computable before
+/// the chunk runs: the byte volume is estimated from nnz.
+pub fn arff_format_chunk_cost(rows: &[hpa_sparse::SparseVec]) -> TaskCost {
+    let nnz: u64 = rows.iter().map(|r| r.nnz() as u64).sum();
+    let bytes = nnz * ARFF_BYTES_PER_ENTRY + rows.len() as u64 * 3;
+    TaskCost {
+        cpu_ns: (bytes as f64 * FORMAT_CPU_NS_PER_BYTE) as u64,
+        mem_bytes: bytes,
+        ..Default::default()
+    }
+}
+
+/// Cost of the pipelined writer's drain stage: one ordered pass copying
+/// `bytes` of formatted text into the (buffered) output file. Like
+/// [`hpa_io::ByteCounter::cost`], buffered writes land in the page cache,
+/// so no `io_write_bytes` are charged.
+pub fn arff_drain_cost(bytes: u64) -> TaskCost {
+    TaskCost {
+        cpu_ns: (bytes as f64 * DRAIN_CPU_NS_PER_BYTE) as u64,
+        mem_bytes: bytes * 2,
+        ..Default::default()
+    }
+}
+
+/// Cost of parsing the ARFF header (serial prefix of the parallel read).
+pub fn arff_header_cost(dim: usize) -> TaskCost {
+    TaskCost {
+        cpu_ns: dim as u64 * 100,
+        mem_bytes: dim as u64 * 50,
+        ..Default::default()
+    }
+}
+
+/// Cost of slurping the data section into memory before chunked parsing
+/// (page-cache-warm copy, like [`arff_read_cost`]'s no-device assumption).
+pub fn arff_slurp_cost(bytes: u64) -> TaskCost {
+    TaskCost {
+        cpu_ns: (bytes as f64 * READ_CPU_NS_PER_BYTE) as u64,
+        mem_bytes: bytes,
+        ..Default::default()
+    }
+}
+
+/// Cost of parsing one line-aligned chunk of `bytes` of the data section
+/// (the parallel stage of the chunked ARFF reader). The entry estimate
+/// inverts [`ARFF_BYTES_PER_ENTRY`]; per-value parse cost matches
+/// [`arff_read_cost`].
+pub fn arff_parse_chunk_cost(bytes: u64) -> TaskCost {
+    let nnz = bytes / ARFF_BYTES_PER_ENTRY;
+    TaskCost {
+        cpu_ns: nnz * 220,
+        mem_bytes: bytes * 2 + nnz * 12,
+        ..Default::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +313,37 @@ mod tests {
             "umap mem {} map mem {}",
             umap.mem_bytes,
             map.mem_bytes
+        );
+    }
+
+    #[test]
+    fn pipelined_write_split_sums_to_the_serial_rate() {
+        assert!(
+            (FORMAT_CPU_NS_PER_BYTE + DRAIN_CPU_NS_PER_BYTE
+                - hpa_io::counter::WRITE_CPU_NS_PER_BYTE)
+                .abs()
+                < 1e-9,
+            "format + drain must equal the serial writer's ns/byte"
+        );
+    }
+
+    #[test]
+    fn chunked_parse_cost_approximates_the_serial_read_model() {
+        let rows: Vec<hpa_sparse::SparseVec> = (0..50)
+            .map(|i| hpa_sparse::SparseVec::from_pairs(vec![(i, 1.5), (i + 50, 2.0)]))
+            .collect();
+        let dim = 100;
+        let serial = arff_read_cost(&rows, dim);
+        let nnz: u64 = rows.iter().map(|r| r.nnz() as u64).sum();
+        let data_bytes = nnz * ARFF_BYTES_PER_ENTRY;
+        let mut split = arff_header_cost(dim);
+        split += arff_parse_chunk_cost(data_bytes);
+        let ratio = split.cpu_ns as f64 / serial.cpu_ns as f64;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "split cpu {} vs serial cpu {}",
+            split.cpu_ns,
+            serial.cpu_ns
         );
     }
 

@@ -26,12 +26,12 @@ pub mod vocab;
 
 pub use vocab::Vocab;
 
-use hpa_arff::{ArffError, ArffHeader, ArffReader, ArffWriter};
+use hpa_arff::{parse_data_line, ArffError, ArffHeader, ArffReader, ArffWriter};
 use hpa_corpus::{Corpus, Tokenizer};
 use hpa_dict::{AnyDict, DictKind, Dictionary};
 use hpa_exec::sync::Mutex;
 use hpa_exec::{Exec, TaskCost};
-use hpa_io::ByteCounter;
+use hpa_io::{ByteCounter, Sequencer};
 use hpa_sparse::SparseVec;
 use std::io::{BufRead, Write};
 
@@ -276,31 +276,143 @@ impl TfIdf {
     }
 }
 
+/// The ARFF header of a model: one numeric attribute per term, in id
+/// order.
+fn arff_header(model: &TfIdfModel) -> ArffHeader {
+    ArffHeader::numeric(
+        "tfidf",
+        (0..model.vocab.len()).map(|id| model.vocab.word(id as u32).to_string()),
+    )
+}
+
 /// Phase 2b ("tfidf-output"): write the model as a sparse ARFF file.
 /// Sequential by format design; charged to the simulated storage device.
 pub fn write_arff<W: Write>(exec: &Exec, model: &TfIdfModel, out: W) -> Result<W, ArffError> {
     let _span = hpa_trace::span!("tfidf", "write-arff", model.vectors.len() as u64);
     exec.serial_costed(|| {
-        let result = (|| {
-            let mut writer = ArffWriter::new(ByteCounter::new(out));
-            let header = ArffHeader::numeric(
-                "tfidf",
-                (0..model.vocab.len()).map(|id| model.vocab.word(id as u32).to_string()),
-            );
-            writer.write_header(&header)?;
+        let mut writer = ArffWriter::new(ByteCounter::new(out));
+        let written = (|| {
+            writer.write_header(&arff_header(model))?;
             for v in &model.vectors {
                 writer.write_sparse_row(v)?;
             }
-            writer.finish()
+            Ok(())
         })();
-        match result {
-            Ok(counter) => {
-                let cost = counter.cost();
-                (Ok(counter.into_inner()), cost)
-            }
-            Err(e) => (Err(e), TaskCost::default()),
+        // Whatever happened, the bytes that reached the counter were
+        // formatted and copied: charge the accumulated cost, not zero,
+        // so a failed run still advances the simulated clock by the
+        // work it performed.
+        let cost = writer.inner().cost();
+        match written.and_then(|()| writer.finish()) {
+            Ok(counter) => (Ok(counter.into_inner()), cost),
+            Err(e) => (Err(e), cost),
         }
     })
+}
+
+/// Pipelined variant of [`write_arff`]: row *formatting* (the ftoa-heavy
+/// part) runs chunk-parallel into reusable buffers, while a dedicated
+/// drain thread copies the buffers to `out` in row order through an
+/// order-preserving bounded channel ([`hpa_io::Sequencer`] over
+/// [`hpa_io::channel::bounded`]).
+///
+/// The ARFF *stream* stays sequential — one header, rows in order —
+/// so the output bytes are identical to [`write_arff`]'s; only the
+/// schedule differs. Under the simulator the phase advances by
+/// `max(parallel format schedule, serial drain)`, which is the paper's
+/// §3.2 observation turned into a remedy: the format "does not
+/// facilitate parallel output", but nothing stops the CPU-bound
+/// formatting from being parallelized behind a single ordered drain.
+pub fn write_arff_overlapped<W: Write + Send>(
+    exec: &Exec,
+    model: &TfIdfModel,
+    out: W,
+) -> Result<W, ArffError> {
+    let _span = hpa_trace::span!("tfidf", "write-arff-overlapped", model.vectors.len() as u64);
+    // Header: a serial prefix, exactly as in `write_arff`.
+    let counter = exec.serial_costed(|| {
+        let mut writer = ArffWriter::new(ByteCounter::new(out));
+        let written = writer.write_header(&arff_header(model));
+        let cost = writer.inner().cost();
+        match written.and_then(|()| writer.finish()) {
+            Ok(counter) => (Ok(counter), cost),
+            Err(e) => (Err(e), cost),
+        }
+    })?;
+
+    let dim = model.vocab.len();
+    let n = model.vectors.len();
+    // A handful of rows per chunk keeps every worker busy; the exact
+    // grain only shifts buffer sizes, not output bytes.
+    let grain = n.div_ceil(exec.threads() * 4).max(1);
+
+    let mut outcome: Option<(ByteCounter<W>, Option<ArffError>)> = None;
+    let (tx, rx) = hpa_io::channel::bounded::<Vec<u8>>(4);
+    let seq = Sequencer::new(tx);
+    // Buffers cycle drain → free list → formatter, bounding allocation
+    // by channel capacity + in-flight chunks rather than file size.
+    let free: Mutex<Vec<Vec<u8>>> = Mutex::new(Vec::new());
+    let header_bytes = counter.bytes();
+    std::thread::scope(|s| {
+        let (seq, free) = (&seq, &free);
+        let drain_handle = s.spawn(move || {
+            let mut counter = counter;
+            let mut failure: Option<ArffError> = None;
+            while let Ok(buf) = rx.recv() {
+                hpa_trace::counter("arff", "queue-depth", rx.len() as u64);
+                let _sp = hpa_trace::span!("arff", "drain", buf.len() as u64);
+                if let Err(e) = counter.write_all(&buf) {
+                    // Dropping `rx` (by leaving the loop) unblocks any
+                    // formatter parked on the full channel.
+                    failure = Some(e.into());
+                    break;
+                }
+                let mut recycled = buf;
+                recycled.clear();
+                free.lock().push(recycled);
+            }
+            drop(rx);
+            if failure.is_none() {
+                if let Err(e) = counter.flush() {
+                    failure = Some(e.into());
+                }
+            }
+            (counter, failure)
+        });
+
+        exec.par_chunks_overlapped(
+            n,
+            grain,
+            |range| {
+                let mut buf = free.lock().pop().unwrap_or_default();
+                buf.clear();
+                let _sp = hpa_trace::span!("arff", "format", range.len() as u64);
+                let mut w = ArffWriter::continuation(buf, dim);
+                for v in &model.vectors[range.clone()] {
+                    w.write_sparse_row(v).expect("Vec<u8> write is infallible");
+                }
+                let buf = w.finish().expect("Vec<u8> flush is infallible");
+                // A failed drain disconnects the channel; the chunk's
+                // bytes are simply dropped and the error surfaces below.
+                let _ = seq.push((range.start / grain) as u64, buf);
+            },
+            |range| cost::arff_format_chunk_cost(&model.vectors[range]),
+            || {
+                seq.close();
+                let (counter, failure) = drain_handle.join().expect("drain thread never panics");
+                // The header was already charged by the serial prefix.
+                let cost = cost::arff_drain_cost(counter.bytes() - header_bytes);
+                outcome = Some((counter, failure));
+                cost
+            },
+        );
+    });
+
+    let (counter, failure) = outcome.expect("drain closure always runs");
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(counter.into_inner()),
+    }
 }
 
 /// "kmeans-input": read a sparse matrix back from ARFF. Sequential, like
@@ -319,6 +431,115 @@ pub fn read_arff<R: BufRead>(exec: &Exec, input: R) -> Result<(Vec<SparseVec>, u
         };
         (result, cost)
     })
+}
+
+/// Chunked-parallel variant of [`read_arff`]: the header parses serially,
+/// the data section is slurped once and split into line-aligned chunks,
+/// and each chunk's rows parse in parallel via
+/// [`hpa_arff::parse_data_line`] — value-identical to the streaming
+/// reader, in the same order. Parse errors report the same 1-based line
+/// numbers the streaming reader would.
+pub fn read_arff_parallel<R: BufRead>(
+    exec: &Exec,
+    input: R,
+) -> Result<(Vec<SparseVec>, usize), ArffError> {
+    let _span = hpa_trace::span!("tfidf", "read-arff-parallel", 0);
+    // Serial prefix 1: the header (tiny, order-dependent).
+    let (header, mut input, header_lines) =
+        exec.serial_costed(|| match ArffReader::new(input) {
+            Ok(reader) => {
+                let cost = cost::arff_header_cost(reader.header().dim());
+                (Ok(reader.into_parts()), cost)
+            }
+            Err(e) => (Err(e), TaskCost::default()),
+        })?;
+    let dim = header.dim();
+
+    // Serial prefix 2: slurp the data section (a page-cache-warm copy —
+    // the file was written moments earlier by the same workflow).
+    let data = exec.serial_costed(|| {
+        let mut data = Vec::new();
+        let result = match input.read_to_end(&mut data) {
+            Ok(_) => Ok(data),
+            Err(e) => Err(ArffError::from(e)),
+        };
+        let bytes = result.as_ref().map(|d| d.len() as u64).unwrap_or(0);
+        (result, cost::arff_slurp_cost(bytes))
+    })?;
+
+    // Line-aligned chunk boundaries: each chunk ends just after a '\n'
+    // (or at EOF), so every line belongs to exactly one chunk.
+    let target = (data.len() / (exec.threads() * 4).max(1)).max(16 * 1024);
+    let mut bounds = vec![0usize];
+    let mut pos = 0;
+    while pos < data.len() {
+        let mut end = (pos + target).min(data.len());
+        while end < data.len() && data[end - 1] != b'\n' {
+            end += 1;
+        }
+        bounds.push(end);
+        pos = end;
+    }
+    let nchunks = bounds.len() - 1;
+
+    let slots: Vec<Mutex<Option<Vec<SparseVec>>>> =
+        (0..nchunks).map(|_| Mutex::new(None)).collect();
+    let first_error: Mutex<Option<ArffError>> = Mutex::new(None);
+    exec.par_chunks(
+        nchunks,
+        1,
+        |chunks| {
+            for ci in chunks {
+                let bytes = &data[bounds[ci]..bounds[ci + 1]];
+                let _sp = hpa_trace::span!("arff", "parse-chunk", bytes.len() as u64);
+                match parse_data_chunk(bytes, dim) {
+                    Ok(rows) => *slots[ci].lock() = Some(rows),
+                    Err((line_in_chunk, message)) => {
+                        // Absolute line number, computed lazily (only on
+                        // the error path): header lines + data lines in
+                        // earlier chunks + offset within this chunk.
+                        let preceding = data[..bounds[ci]].iter().filter(|&&b| b == b'\n').count();
+                        let line = header_lines + preceding + line_in_chunk;
+                        let mut slot = first_error.lock();
+                        let earlier =
+                            matches!(&*slot, Some(ArffError::Parse { line: l, .. }) if *l <= line);
+                        if !earlier {
+                            *slot = Some(ArffError::Parse { line, message });
+                        }
+                    }
+                }
+            }
+        },
+        |chunks| {
+            let bytes: u64 = chunks.map(|ci| (bounds[ci + 1] - bounds[ci]) as u64).sum();
+            cost::arff_parse_chunk_cost(bytes)
+        },
+    );
+    if let Some(e) = first_error.into_inner() {
+        return Err(e);
+    }
+    let mut rows = Vec::new();
+    for slot in slots {
+        rows.extend(slot.into_inner().expect("chunk parsed"));
+    }
+    Ok((rows, dim))
+}
+
+/// Parse one line-aligned chunk; errors carry the 1-based line offset
+/// *within the chunk* (converted to an absolute number by the caller).
+fn parse_data_chunk(bytes: &[u8], dim: usize) -> Result<Vec<SparseVec>, (usize, String)> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| (1, format!("data section is not valid UTF-8: {e}")))?;
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        match parse_data_line(line, dim, i + 1) {
+            Ok(Some(row)) => rows.push(row),
+            Ok(None) => {}
+            Err(ArffError::Parse { line, message }) => return Err((line, message)),
+            Err(ArffError::Io(e)) => return Err((i + 1, format!("i/o error: {e}"))),
+        }
+    }
+    Ok(rows)
 }
 
 #[cfg(test)]
@@ -455,6 +676,125 @@ mod tests {
             for (a, b) in orig.weights().iter().zip(got.weights()) {
                 assert_eq!(a, b, "f64 display round-trips exactly");
             }
+        }
+    }
+
+    #[test]
+    fn overlapped_write_is_byte_identical_to_serial() {
+        let model = op(DictKind::BTree).fit(&Exec::sequential(), &corpus());
+        let serial = write_arff(&Exec::sequential(), &model, Vec::new()).unwrap();
+        for exec in [
+            Exec::sequential(),
+            Exec::pool(3),
+            Exec::simulated(4, hpa_exec::MachineModel::default()),
+        ] {
+            let overlapped = write_arff_overlapped(&exec, &model, Vec::new()).unwrap();
+            assert_eq!(serial, overlapped, "bytes must be identical under {exec:?}");
+        }
+    }
+
+    #[test]
+    fn overlapped_write_of_empty_model_is_header_only() {
+        let exec = Exec::sequential();
+        let model = op(DictKind::BTree).fit(&exec, &Corpus::default());
+        let serial = write_arff(&exec, &model, Vec::new()).unwrap();
+        let overlapped = write_arff_overlapped(&exec, &model, Vec::new()).unwrap();
+        assert_eq!(serial, overlapped);
+    }
+
+    #[test]
+    fn parallel_read_matches_streaming_reader() {
+        // Enough rows that the data section splits into several chunks.
+        let mut w = hpa_arff::ArffWriter::new(Vec::new());
+        let dim = 50usize;
+        w.write_header(&ArffHeader::numeric(
+            "t",
+            (0..dim).map(|i| format!("term{i}")),
+        ))
+        .unwrap();
+        let mut rows = Vec::new();
+        for i in 0..3000u32 {
+            let v = SparseVec::from_pairs(vec![
+                (i % 50, 0.25 + i as f64 * 0.001),
+                ((i * 7 + 3) % 50, 1.5),
+            ]);
+            w.write_sparse_row(&v).unwrap();
+            rows.push(v);
+        }
+        let bytes = w.finish().unwrap();
+        assert!(bytes.len() > 32 * 1024, "need a multi-chunk data section");
+        let (serial, sdim) =
+            read_arff(&Exec::sequential(), std::io::Cursor::new(bytes.clone())).unwrap();
+        assert_eq!(sdim, dim);
+        for exec in [
+            Exec::sequential(),
+            Exec::pool(3),
+            Exec::simulated(4, hpa_exec::MachineModel::default()),
+        ] {
+            let (parallel, pdim) =
+                read_arff_parallel(&exec, std::io::Cursor::new(bytes.clone())).unwrap();
+            assert_eq!(pdim, dim, "under {exec:?}");
+            assert_eq!(parallel.len(), serial.len(), "under {exec:?}");
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.terms(), b.terms(), "under {exec:?}");
+                assert_eq!(a.weights(), b.weights(), "value-identical under {exec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_read_reports_the_streaming_line_number() {
+        let text = "@RELATION r\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE b NUMERIC\n@DATA\n\
+                    {0 1.5}\n{1 bad}\n{0 2}\n";
+        let serial = read_arff(&Exec::sequential(), std::io::Cursor::new(text.as_bytes()))
+            .unwrap_err()
+            .to_string();
+        let parallel = read_arff_parallel(&Exec::pool(2), std::io::Cursor::new(text.as_bytes()))
+            .unwrap_err()
+            .to_string();
+        assert_eq!(serial, parallel, "same error, same line");
+        assert!(parallel.contains("line 6"), "{parallel}");
+    }
+
+    /// A writer that accepts only the first `cap` bytes, then fails.
+    struct Truncating {
+        cap: usize,
+        written: usize,
+    }
+    impl Write for Truncating {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.written + buf.len() > self.cap {
+                return Err(std::io::Error::other("disk full"));
+            }
+            self.written += buf.len();
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn failed_write_still_charges_the_work_it_did() {
+        let model = op(DictKind::BTree).fit(&Exec::sequential(), &corpus());
+        let full = write_arff(&Exec::sequential(), &model, Vec::new()).unwrap();
+        for overlapped in [false, true] {
+            let exec = Exec::simulated(2, hpa_exec::MachineModel::default());
+            let out = Truncating {
+                cap: full.len() / 2,
+                written: 0,
+            };
+            let before = exec.now();
+            let result = if overlapped {
+                write_arff_overlapped(&exec, &model, out).map(|_| ())
+            } else {
+                write_arff(&exec, &model, out).map(|_| ())
+            };
+            assert!(result.is_err(), "truncated output must fail");
+            assert!(
+                exec.now() > before,
+                "the bytes formatted before the failure cost time (overlapped={overlapped})"
+            );
         }
     }
 

@@ -60,7 +60,7 @@ pub use hpa_trace as trace;
 
 /// Commonly used items, for `use hpa::prelude::*`.
 pub mod prelude {
-    pub use hpa_core::{Workflow, WorkflowBuilder, WorkflowOutcome};
+    pub use hpa_core::{DiscreteIo, Workflow, WorkflowBuilder, WorkflowOutcome};
     pub use hpa_corpus::{Corpus, CorpusSpec};
     pub use hpa_dict::{BTreeDict, DictKind, Dictionary, HashDict};
     pub use hpa_exec::{Exec, MachineModel};

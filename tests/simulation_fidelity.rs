@@ -73,10 +73,15 @@ fn figure1_ordering_nsf_scales_better_than_mix() {
 #[test]
 fn figure3_ordering_discrete_overhead_grows_with_threads() {
     // Figure 3: the discrete/merged ratio grows with thread count,
-    // because the ARFF legs are serial.
+    // because the ARFF legs are serial. Pinned to `DiscreteIo::Serial`:
+    // Figure 3 models the paper's original implementation. The pipelined
+    // round-trip (the default) deliberately parallelizes the format and
+    // parse halves of those legs — its effect is measured by the
+    // `ablation_arff_pipeline` bench and the assertion below.
     let corpus = CorpusSpec::nsf_abstracts().scaled(0.01).generate(3);
-    let ratio = |cores: usize| {
+    let ratio = |cores: usize, io: DiscreteIo| {
         let d = workflow(DictKind::BTree)
+            .discrete_io(io)
             .discrete()
             .run(&corpus, &exec(cores))
             .unwrap();
@@ -86,8 +91,8 @@ fn figure3_ordering_discrete_overhead_grows_with_threads() {
             .unwrap();
         total_secs(&d) / total_secs(&m)
     };
-    let r1 = ratio(1);
-    let r16 = ratio(16);
+    let r1 = ratio(1, DiscreteIo::Serial);
+    let r16 = ratio(16, DiscreteIo::Serial);
     assert!(
         r1 > 1.05,
         "discrete must cost extra even at 1 thread: {r1:.3}"
@@ -95,6 +100,19 @@ fn figure3_ordering_discrete_overhead_grows_with_threads() {
     assert!(
         r16 > r1 + 0.5,
         "I/O overhead must grow with threads: {r1:.2} -> {r16:.2}"
+    );
+
+    // The pipelined round-trip narrows — but does not erase — the gap:
+    // the ordered drain and the header stay serial, so discrete remains
+    // strictly slower than fused at every thread count.
+    let p16 = ratio(16, DiscreteIo::Pipelined);
+    assert!(
+        p16 < r16,
+        "pipelining must shrink the 16-thread overhead: {p16:.2} vs {r16:.2}"
+    );
+    assert!(
+        p16 > 1.0,
+        "discrete stays slower than fused even pipelined: {p16:.3}"
     );
 }
 
