@@ -1,0 +1,411 @@
+//! Ablation — arena dictionary: map vs u-map vs hash vs arena, per phase.
+//!
+//! Measures the word-count, document-frequency-merge, and vocabulary-
+//! lookup phases under real execution for every dictionary backend at
+//! P ∈ {1, 4, max} threads (deduplicated), and checks the `DictKind::Auto`
+//! selector against the measurements: the backend it resolves for each
+//! phase must never be measurably slower than the best candidate beyond a
+//! noise tolerance. Before any timing, the bin asserts that every backend
+//! (and `Auto`) produces a bit-identical TF/IDF model — term ids, df
+//! counts, and weight bits — so the numbers isolate the data structure.
+//!
+//! Emits `BENCH_dict_arena.json` into the output directory (the CI
+//! bench-smoke artifact) alongside the usual CSV report.
+
+use hpa_bench::BenchConfig;
+use hpa_corpus::{Corpus, Tokenizer};
+use hpa_dict::{AnyDict, DictKind, DictPhase, Dictionary};
+use hpa_exec::Exec;
+use hpa_metrics::{ExperimentReport, Stopwatch, Table};
+use hpa_tfidf::{TfIdf, TfIdfConfig};
+use std::fmt::Write as _;
+
+const REPEATS: usize = 5;
+/// Noise tolerance for the "Auto never picks a measured-slower backend"
+/// check: the pick must be within this factor of the fastest candidate.
+const AUTO_TOLERANCE: f64 = 1.25;
+
+/// `(label, kind)` arms measured in every phase. `map`/`u-map` are the
+/// paper's Figure 4 arms; `hash` and `arena` are the growable hash table
+/// and the interned open-addressing table the Auto selector chooses from.
+const ARMS: [(&str, DictKind); 4] = [
+    ("map", DictKind::BTree),
+    ("u-map", DictKind::PAPER_PRESIZE),
+    ("hash", DictKind::Hash),
+    ("arena", DictKind::Arena),
+];
+
+fn op(kind: DictKind) -> TfIdf {
+    TfIdf::new(TfIdfConfig {
+        dict_kind: kind,
+        grain: 0,
+        charge_input_io: false,
+        ..Default::default()
+    })
+}
+
+fn exec_for(threads: usize) -> Exec {
+    if threads <= 1 {
+        Exec::sequential()
+    } else {
+        Exec::pool(threads)
+    }
+}
+
+/// Assert that `kind` produces the same model as the tree reference,
+/// down to the f64 bits, under both a sequential and a pooled executor.
+fn assert_bit_identical(reference: &hpa_tfidf::TfIdfModel, kind: DictKind, corpus: &Corpus) {
+    for exec in [Exec::sequential(), Exec::pool(3)] {
+        let model = op(kind).fit(&exec, corpus);
+        assert_eq!(
+            reference.vocab.len(),
+            model.vocab.len(),
+            "{kind:?}: vocabulary size diverged"
+        );
+        for id in 0..reference.vocab.len() as u32 {
+            assert_eq!(
+                reference.vocab.word(id),
+                model.vocab.word(id),
+                "{kind:?}: term id {id} names a different word"
+            );
+            assert_eq!(
+                reference.vocab.df(id),
+                model.vocab.df(id),
+                "{kind:?}: df of term {id} diverged"
+            );
+        }
+        for (i, (a, b)) in reference.vectors.iter().zip(&model.vectors).enumerate() {
+            assert_eq!(a.terms(), b.terms(), "{kind:?}: doc {i} term ids diverged");
+            assert_eq!(
+                a.weights(),
+                b.weights(),
+                "{kind:?}: doc {i} weight bits diverged"
+            );
+        }
+    }
+}
+
+/// Min-of-repeats wall time of the full input+wc phase.
+fn time_wc(kind: DictKind, threads: usize, corpus: &Corpus) -> f64 {
+    let exec = exec_for(threads);
+    let o = op(kind);
+    let _ = o.count_words(&exec, corpus); // warm-up
+    (0..REPEATS)
+        .map(|_| {
+            let sw = Stopwatch::start();
+            let counts = o.count_words(&exec, corpus);
+            let t = sw.elapsed().as_secs_f64();
+            std::hint::black_box(counts.df.len());
+            t
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// One chunk-local document-frequency dictionary per worker: the inputs
+/// the serial merge tail folds together.
+fn build_partials(kind: DictKind, workers: usize, corpus: &Corpus) -> Vec<AnyDict> {
+    let docs = corpus.documents();
+    let chunk = docs.len().div_ceil(workers.max(1)).max(1);
+    docs.chunks(chunk)
+        .map(|chunk_docs| {
+            let mut df = kind.new_dict();
+            let mut tok = Tokenizer::new();
+            for doc in chunk_docs {
+                let mut seen = kind.new_dict();
+                tok.for_each(&doc.text, |w| {
+                    if seen.add(w, 1) == 1 {
+                        df.add(w, 1);
+                    }
+                });
+            }
+            df
+        })
+        .collect()
+}
+
+/// Min-of-repeats wall time of folding `partials` into a fresh global
+/// dictionary — the word-count phase's serial merge tail. At P = 1 this
+/// is one partial folded into an empty dictionary (every entry still
+/// inserts once); at higher P the same entries arrive in more, smaller
+/// partials.
+fn time_merge(kind: DictKind, partials: &[AnyDict]) -> f64 {
+    (0..REPEATS)
+        .map(|_| {
+            let mut global = kind.new_dict();
+            let sw = Stopwatch::start();
+            for p in partials {
+                global.merge_from(p);
+            }
+            let t = sw.elapsed().as_secs_f64();
+            std::hint::black_box(global.len());
+            t
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Min-of-repeats wall time of probing every vocabulary word `rounds`
+/// times — the transform phase's lookup traffic against the index.
+fn time_lookup(kind: DictKind, words: &[String], rounds: usize) -> f64 {
+    let mut index = kind.new_dict();
+    for (i, w) in words.iter().enumerate() {
+        index.insert(w, i as u64);
+    }
+    (0..REPEATS)
+        .map(|_| {
+            let sw = Stopwatch::start();
+            let mut acc = 0u64;
+            for _ in 0..rounds {
+                for w in words {
+                    acc += index.get(w).expect("indexed word");
+                }
+            }
+            let t = sw.elapsed().as_secs_f64();
+            std::hint::black_box(acc);
+            t
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+struct PhaseRow {
+    phase: DictPhase,
+    label: &'static str,
+    threads: usize,
+    /// Times in ARMS order.
+    times: [f64; ARMS.len()],
+    auto_pick: DictKind,
+}
+
+fn arm_index(kind: DictKind) -> usize {
+    ARMS.iter()
+        .position(|&(_, k)| k == kind)
+        .expect("auto candidates are all measured")
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let mut report = ExperimentReport::new(
+        "ablation_dict_arena",
+        "dictionary backends per phase: map vs u-map vs hash vs arena, with the Auto selector checked against the measurements",
+        "real execution; min of repeats",
+        &cfg.scale_label(),
+    );
+
+    let corpus = cfg.mix();
+
+    // Correctness first: a timing table comparing diverging backends
+    // would be meaningless.
+    let reference = op(DictKind::BTree).fit(&Exec::sequential(), &corpus);
+    for kind in [
+        DictKind::PAPER_PRESIZE,
+        DictKind::Hash,
+        DictKind::Arena,
+        DictKind::Auto,
+    ] {
+        assert_bit_identical(&reference, kind, &corpus);
+    }
+    eprintln!("bit-identity: all backends match the tree reference exactly");
+
+    let max_p = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut thread_counts = vec![1usize, 4, max_p];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    let words: Vec<String> = (0..reference.vocab.len() as u32)
+        .map(|id| reference.vocab.word(id).to_string())
+        .collect();
+    let lookup_rounds = 20;
+
+    let mut rows: Vec<PhaseRow> = Vec::new();
+    for &t in &thread_counts {
+        let mut wc = [0.0; ARMS.len()];
+        let mut merge = [0.0; ARMS.len()];
+        for (i, &(label, kind)) in ARMS.iter().enumerate() {
+            wc[i] = time_wc(kind, t, &corpus);
+            let partials = build_partials(kind, t, &corpus);
+            merge[i] = time_merge(kind, &partials);
+            eprintln!(
+                "P={t} {label}: wc {:.4}s, merge of {} partial(s) {:.5}s",
+                wc[i],
+                partials.len(),
+                merge[i]
+            );
+        }
+        rows.push(PhaseRow {
+            phase: DictPhase::WordCount,
+            label: "input+wc",
+            threads: t,
+            times: wc,
+            auto_pick: DictKind::Auto.resolve(DictPhase::WordCount, t),
+        });
+        rows.push(PhaseRow {
+            phase: DictPhase::Merge,
+            label: "df-merge",
+            threads: t,
+            times: merge,
+            auto_pick: DictKind::Auto.resolve(DictPhase::Merge, t),
+        });
+    }
+    // Lookup traffic is per-probe work; measure once and reuse across
+    // thread counts (the Auto pick may still vary with P through the
+    // contention term, so the check below re-resolves per P).
+    let mut lookup = [0.0; ARMS.len()];
+    for (i, &(label, kind)) in ARMS.iter().enumerate() {
+        lookup[i] = time_lookup(kind, &words, lookup_rounds);
+        eprintln!(
+            "lookup {label}: {:.5}s for {} probes",
+            lookup[i],
+            words.len() * lookup_rounds
+        );
+    }
+    for &t in &thread_counts {
+        rows.push(PhaseRow {
+            phase: DictPhase::Lookup,
+            label: "vocab-lookup",
+            threads: t,
+            times: lookup,
+            auto_pick: DictKind::Auto.resolve(DictPhase::Lookup, t),
+        });
+    }
+
+    // Acceptance check 1: the arena's cached-hash fold beats the
+    // re-hashing fold of the growable hash table on the merge phase.
+    for row in rows.iter().filter(|r| r.phase == DictPhase::Merge) {
+        let arena = row.times[arm_index(DictKind::Arena)];
+        let hash = row.times[arm_index(DictKind::Hash)];
+        assert!(
+            arena < hash,
+            "P={}: arena merge {arena:.6}s not faster than hash merge {hash:.6}s",
+            row.threads
+        );
+    }
+
+    // Acceptance check 2: for every phase and thread count, the backend
+    // Auto resolves is within tolerance of the fastest measured candidate
+    // (candidates = the kinds the selector actually scores).
+    let candidates = [DictKind::BTree, DictKind::Hash, DictKind::Arena];
+    for row in &rows {
+        let best = candidates
+            .iter()
+            .map(|&k| row.times[arm_index(k)])
+            .fold(f64::INFINITY, f64::min);
+        let picked = row.times[arm_index(row.auto_pick)];
+        assert!(
+            picked <= best * AUTO_TOLERANCE,
+            "{} P={}: Auto picked {:?} at {picked:.6}s but the best candidate ran {best:.6}s",
+            row.label,
+            row.threads,
+            row.auto_pick
+        );
+    }
+
+    // Arena instrumentation: fold the partials once with tracing on and
+    // report the probe/rehash/arena-bytes counters the merge emitted.
+    hpa_trace::enable();
+    let _ = hpa_trace::take();
+    {
+        let partials = build_partials(DictKind::Arena, 4, &corpus);
+        let mut global = DictKind::Arena.new_dict();
+        for p in &partials {
+            global.merge_from(p);
+        }
+    }
+    let rec = hpa_trace::take();
+    let counter_max = |name: &str| {
+        rec.counters
+            .iter()
+            .filter(|c| c.cat == "dict" && c.name == name)
+            .map(|c| c.value)
+            .max()
+            .unwrap_or(0)
+    };
+    let probe_steps = counter_max("probe-steps");
+    let rehashes = counter_max("rehashes");
+    let arena_bytes = counter_max("arena-bytes");
+
+    let mut headers = vec!["phase", "threads"];
+    headers.extend(ARMS.iter().map(|&(l, _)| l));
+    headers.push("auto pick");
+    let mut table = Table::new(
+        "Dictionary backend per phase (seconds, min of repeats)",
+        &headers,
+    );
+    for row in &rows {
+        let mut cells = vec![row.label.to_string(), row.threads.to_string()];
+        cells.extend(row.times.iter().map(|t| format!("{t:.5}")));
+        cells.push(row.auto_pick.label().to_string());
+        table.row(&cells);
+    }
+    report.add_table(table);
+    report.note("bit-identical TF/IDF output across all backends asserted before timing");
+    report.note(&format!(
+        "arena merge instrumentation: {probe_steps} probe steps, {rehashes} rehashes, {arena_bytes} arena bytes"
+    ));
+
+    let json = render_json(
+        &cfg,
+        &corpus.name,
+        &thread_counts,
+        &rows,
+        probe_steps,
+        rehashes,
+        arena_bytes,
+    );
+    let json_path = cfg.out_dir.join("BENCH_dict_arena.json");
+    if let Err(e) = std::fs::create_dir_all(&cfg.out_dir) {
+        eprintln!("warning: could not create {}: {e}", cfg.out_dir.display());
+    }
+    match std::fs::write(&json_path, json) {
+        Ok(()) => println!("wrote {}", json_path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", json_path.display()),
+    }
+
+    cfg.emit(&report);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    cfg: &BenchConfig,
+    corpus: &str,
+    thread_counts: &[usize],
+    rows: &[PhaseRow],
+    probe_steps: u64,
+    rehashes: u64,
+    arena_bytes: u64,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"dict_arena\",");
+    let _ = writeln!(out, "  \"corpus\": \"{corpus}\",");
+    let _ = writeln!(out, "  \"scale\": {},", cfg.scale);
+    let _ = writeln!(out, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(
+        out,
+        "  \"threads\": [{}],",
+        thread_counts
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(out, "  \"auto_tolerance\": {AUTO_TOLERANCE},");
+    let _ = writeln!(out, "  \"arena_merge_probe_steps\": {probe_steps},");
+    let _ = writeln!(out, "  \"arena_merge_rehashes\": {rehashes},");
+    let _ = writeln!(out, "  \"arena_merge_arena_bytes\": {arena_bytes},");
+    out.push_str("  \"phases\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"phase\": \"{}\",", row.label);
+        let _ = writeln!(out, "      \"threads\": {},", row.threads);
+        for (j, &(label, _)) in ARMS.iter().enumerate() {
+            let _ = writeln!(out, "      \"{label}_s\": {:.6},", row.times[j]);
+        }
+        let _ = writeln!(out, "      \"auto_pick\": \"{}\"", row.auto_pick.label());
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

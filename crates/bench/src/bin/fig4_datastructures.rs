@@ -1,11 +1,12 @@
 //! Figure 4 — dictionary selection: `std::map` vs `std::unordered_map`.
 //!
 //! Runs the merged TF/IDF → K-Means workflow on the *Mix* input with the
-//! term dictionaries swapped between the ordered tree ("map") and the
-//! pre-sized hash table ("u-map", 4 K pre-size as in the paper), across
-//! thread counts. Also reports the §3.4 memory claim (420 MB vs 12.8 GB)
-//! and the headline "3.4-fold speedup by interchanging one standardized
-//! data structure for another".
+//! term dictionaries swapped between the ordered tree ("map"), the
+//! pre-sized hash table ("u-map", 4 K pre-size as in the paper), and the
+//! arena-interned open-addressing table ("arena") this reproduction adds,
+//! across thread counts. Also reports the §3.4 memory claim (420 MB vs
+//! 12.8 GB) and the headline "3.4-fold speedup by interchanging one
+//! standardized data structure for another".
 
 use hpa_bench::BenchConfig;
 use hpa_core::WorkflowBuilder;
@@ -36,7 +37,11 @@ fn main() {
         threads
     };
 
-    let kinds = [("u-map", DictKind::PAPER_PRESIZE), ("map", DictKind::BTree)];
+    let kinds = [
+        ("u-map", DictKind::PAPER_PRESIZE),
+        ("map", DictKind::BTree),
+        ("arena", DictKind::Arena),
+    ];
 
     let phases = ["input+wc", "transform", "kmeans", "output"];
     let mut headers = vec!["threads", "dict"];
@@ -99,16 +104,19 @@ fn main() {
             "u-map transform spdup",
             "map transform spdup",
             "u-map/map total",
+            "map/arena total",
         ],
     );
     let (_, umap_totals, umap_tr) = &curves[0];
     let (_, map_totals, map_tr) = &curves[1];
+    let (_, arena_totals, _) = &curves[2];
     for (i, &t) in threads.iter().enumerate() {
         derived.row(&[
             t.to_string(),
             format!("{:.2}", umap_tr[0] / umap_tr[i]),
             format!("{:.2}", map_tr[0] / map_tr[i]),
             format!("{:.2}x", umap_totals[i] / map_totals[i]),
+            format!("{:.2}x", map_totals[i] / arena_totals[i]),
         ]);
     }
     report.add_table(derived);

@@ -452,6 +452,31 @@ mod tests {
     }
 
     #[test]
+    fn auto_dict_workflow_matches_concrete_kinds() {
+        // TF/IDF output is bit-identical across backends, and K-means is
+        // deterministic given its input, so an Auto-selected workflow must
+        // reproduce the reference clustering exactly — fused and discrete.
+        let exec = Exec::sequential();
+        let corpus = small_corpus();
+        let auto_builder = || {
+            builder().tfidf(TfIdfConfig {
+                dict_kind: DictKind::Auto,
+                grain: 0,
+                charge_input_io: true,
+                ..Default::default()
+            })
+        };
+        let reference = builder().fused().run(&corpus, &exec).unwrap();
+        let fused = auto_builder().fused().run(&corpus, &exec).unwrap();
+        assert_eq!(reference.assignments, fused.assignments);
+        assert_eq!(reference.dim, fused.dim);
+        assert!((reference.inertia - fused.inertia).abs() < 1e-12);
+        let discrete = auto_builder().discrete().run(&corpus, &exec).unwrap();
+        assert_eq!(reference.assignments, discrete.assignments);
+        assert_eq!(reference.dim, discrete.dim);
+    }
+
+    #[test]
     fn simulated_discrete_charges_more_io_time_than_fused() {
         let corpus = small_corpus();
         let machine = hpa_exec::MachineModel::default();

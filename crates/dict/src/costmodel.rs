@@ -52,6 +52,14 @@ fn tlb_stall_ns(len: usize) -> f64 {
 /// faulted page.
 const COLD_SPARSE_ARRAY_NS: f64 = 120.0;
 
+/// CPU stall from cache/TLB misses touching an arena table of `len`
+/// entries (~32 B of slot + key text per entry — the whole structure is
+/// two flat allocations, so its working set is a fraction of the chained
+/// table's 120 B/entry and the stall saturates later and lower.
+fn arena_stall_ns(len: usize) -> f64 {
+    70.0 * ((len as f64 * 32.0) / 4.0e6).min(1.0)
+}
+
 impl DictKind {
     /// One-time cost of *creating* a dictionary of this kind — charged
     /// once per document for the per-document term maps. Pre-sized tables
@@ -76,6 +84,13 @@ impl DictKind {
                     mem_bytes: bucket_bytes,
                 }
             }
+            // Two empty `Vec`s; the slot table is allocated lazily on
+            // the first insert (charged to that insert's growth share).
+            DictKind::Arena => OpCost {
+                cpu_ns: 30.0,
+                mem_bytes: 0.0,
+            },
+            DictKind::Auto => DictKind::Arena.creation_cost(),
         }
     }
 
@@ -112,6 +127,16 @@ impl DictKind {
                     DictKind::Hash.insert_cost(len)
                 }
             }
+            // Arena: hash + short linear probe + append to the arena; no
+            // per-key allocation. Growth is a flat 24 B/slot memcpy by
+            // cached hash (key bytes untouched), amortized into the
+            // constant. Half the arena stall: inserts touch the tail of
+            // the arena, which is still cache-warm.
+            DictKind::Arena => OpCost {
+                cpu_ns: 30.0 + 0.5 * arena_stall_ns(len),
+                mem_bytes: 80.0,
+            },
+            DictKind::Auto => DictKind::Arena.insert_cost(len),
         }
     }
 
@@ -133,6 +158,12 @@ impl DictKind {
                 cpu_ns: 35.0 + COLD_SPARSE_ARRAY_NS + 0.5 * tlb_stall_ns(len),
                 mem_bytes: self.hash_touch_bytes(len) + 64.0,
             },
+            // One hash, one (usually first-probe) 24 B slot touch.
+            DictKind::Arena => OpCost {
+                cpu_ns: 18.0 + 0.5 * arena_stall_ns(len),
+                mem_bytes: 32.0,
+            },
+            DictKind::Auto => DictKind::Arena.increment_cost(len),
         }
     }
 
@@ -158,6 +189,13 @@ impl DictKind {
                 cpu_ns: 38.0 + COLD_SPARSE_ARRAY_NS + 0.5 * tlb_stall_ns(len),
                 mem_bytes: self.hash_touch_bytes(len) + 64.0,
             },
+            // Cheap hash (FNV vs SipHash-class), flat probe, compact
+            // working set: beats the chained table on both axes.
+            DictKind::Arena => OpCost {
+                cpu_ns: 20.0 + arena_stall_ns(len),
+                mem_bytes: 48.0,
+            },
+            DictKind::Auto => DictKind::Arena.lookup_cost(len),
         }
     }
 
@@ -183,6 +221,14 @@ impl DictKind {
                     mem_bytes: 70.0 + ((*cap as f64 * 8.0) / len.max(1) as f64).min(400.0),
                 }
             }
+            // Dense linear scan over the slot table (7/8 max load keeps
+            // the skipped-empty overhead small); key text only when the
+            // consumer reads it.
+            DictKind::Arena => OpCost {
+                cpu_ns: 8.0,
+                mem_bytes: 32.0,
+            },
+            DictKind::Auto => DictKind::Arena.iter_step_cost(len),
         }
     }
 
@@ -210,6 +256,38 @@ impl DictKind {
                 cpu_ns: 25.0 + 18.0 * lg(len), // sort comparisons
                 mem_bytes: 90.0,
             },
+            // Sorts a 4 B/entry slot index (comparisons still touch key
+            // bytes, but no `(String, value)` pairs are materialized)
+            // and the index is cached until the next insert.
+            DictKind::Arena => OpCost {
+                cpu_ns: 18.0 + 10.0 * lg(len),
+                mem_bytes: 48.0,
+            },
+            DictKind::Auto => DictKind::Arena.sorted_iter_cost(len),
+        }
+    }
+
+    /// Cost of merging one entry of a source dictionary into a
+    /// destination of `len` entries (the serial tail of word counting
+    /// and the per-shard unit of parallel merging). The standard
+    /// structures re-hash or re-compare the key from scratch and clone
+    /// it when new; the arena inserts by the source's cached hash —
+    /// key bytes are touched only on probe collision.
+    pub fn merge_step_cost(&self, len: usize) -> OpCost {
+        match self {
+            DictKind::BTree => self.increment_cost(len),
+            DictKind::Hash | DictKind::HashPresized(_) => {
+                let up = self.increment_cost(len);
+                OpCost {
+                    cpu_ns: up.cpu_ns + 12.0, // re-hash the source key
+                    mem_bytes: up.mem_bytes + 16.0,
+                }
+            }
+            DictKind::Arena => OpCost {
+                cpu_ns: 12.0 + 0.5 * arena_stall_ns(len),
+                mem_bytes: 32.0,
+            },
+            DictKind::Auto => DictKind::Arena.merge_step_cost(len),
         }
     }
 
@@ -226,8 +304,93 @@ impl DictKind {
             DictKind::HashPresized(cap) => {
                 (*cap).max(len) as u64 * 8 + len as u64 * 56 + string_bytes
             }
+            // Our own structure models as itself: a power-of-two table
+            // of 24 B slots at ≤ 7/8 load plus the raw key text.
+            DictKind::Arena => {
+                if len == 0 {
+                    0
+                } else {
+                    (len as u64 * 8 / 7).next_power_of_two().max(8) * 24 + string_bytes
+                }
+            }
+            DictKind::Auto => DictKind::Arena.resident_bytes(len, string_bytes),
         }
     }
+
+    /// Resolve an [`DictKind::Auto`] configuration to the concrete kind
+    /// the cost model prefers for `phase` at this `threads` count;
+    /// concrete kinds resolve to themselves. This is the per-phase
+    /// selection hook `hpa-core`'s workflow exercises: the same `Auto`
+    /// configuration may answer differently for the word-count, merge,
+    /// and lookup phases, and differently again as the thread count
+    /// shifts the weight of memory traffic.
+    pub fn resolve(self, phase: DictPhase, threads: usize) -> DictKind {
+        match self {
+            DictKind::Auto => auto_pick(phase, threads),
+            k => k,
+        }
+    }
+}
+
+/// The three dictionary-bound workflow phases an [`DictKind::Auto`]
+/// configuration chooses a backend for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DictPhase {
+    /// Per-document term counting ("input+wc"): create one small
+    /// dictionary per document, insert/increment per token.
+    WordCount,
+    /// Merging chunk-local document-frequency dictionaries into the
+    /// corpus-wide one (the word-count phase's serial tail).
+    Merge,
+    /// Read-only vocabulary-index lookups (transform phase).
+    Lookup,
+}
+
+/// Representative workload sizes behind [`auto_pick`]'s scores, from the
+/// calibrated *Mix* corpus (see `hpa-tfidf`'s `cost` module): ~150-entry
+/// per-document dictionaries built from ~400 tokens, a corpus-wide
+/// dictionary at vocabulary scale.
+const AUTO_DOC_DICT_LEN: usize = 150;
+const AUTO_DOC_TOKENS: f64 = 400.0;
+const AUTO_DOC_DISTINCT: f64 = 180.0;
+const AUTO_GLOBAL_DICT_LEN: usize = 150_000;
+const AUTO_VOCAB_LEN: usize = 185_000;
+
+/// Memory-traffic weight in ns/byte as threads contend for shared
+/// bandwidth: free on one thread, growing linearly — the mechanism that
+/// made the paper's u-map transform stop scaling.
+fn contended_ns_per_byte(threads: usize) -> f64 {
+    0.004 * threads.saturating_sub(1) as f64
+}
+
+/// Pick the cheapest backend for `phase` at `threads` from the analytic
+/// model, scoring CPU plus bandwidth-weighted memory traffic over the
+/// candidate set {map, u-map, arena}. The pre-sized table is not a
+/// candidate: `Auto` exists to avoid exactly the footprint it buys.
+pub fn auto_pick(phase: DictPhase, threads: usize) -> DictKind {
+    const CANDIDATES: [DictKind; 3] = [DictKind::BTree, DictKind::Hash, DictKind::Arena];
+    let bw = contended_ns_per_byte(threads);
+    let score = |c: OpCost| c.cpu_ns + c.mem_bytes * bw;
+    let phase_score = |k: DictKind| match phase {
+        DictPhase::WordCount => {
+            let hits = AUTO_DOC_TOKENS - AUTO_DOC_DISTINCT;
+            score(k.creation_cost())
+                + AUTO_DOC_DISTINCT * score(k.insert_cost(AUTO_DOC_DICT_LEN))
+                + hits * score(k.increment_cost(AUTO_DOC_DICT_LEN))
+        }
+        DictPhase::Merge => score(k.merge_step_cost(AUTO_GLOBAL_DICT_LEN)),
+        DictPhase::Lookup => score(k.lookup_cost(AUTO_VOCAB_LEN)),
+    };
+    let mut best = CANDIDATES[0];
+    let mut best_score = phase_score(best);
+    for k in &CANDIDATES[1..] {
+        let s = phase_score(*k);
+        if s < best_score {
+            best = *k;
+            best_score = s;
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -320,6 +483,76 @@ mod tests {
         let tree = DictKind::BTree.resident_bytes(150, 1200);
         assert!(presized > 2 * tight);
         assert!(presized > 3 * tree);
+    }
+
+    #[test]
+    fn arena_wins_the_phases_its_layout_targets() {
+        // Insert-heavy word counting: no per-key allocation, no rehash
+        // relocation, no cold sparse array.
+        let doc = 150;
+        assert!(DictKind::Arena.insert_cost(doc).cpu_ns < DictKind::BTree.insert_cost(doc).cpu_ns);
+        assert!(DictKind::Arena.insert_cost(doc).cpu_ns < DictKind::Hash.insert_cost(doc).cpu_ns);
+        // Merging by cached hash undercuts both re-hashing structures.
+        let global = 150_000;
+        assert!(
+            DictKind::Arena.merge_step_cost(global).cpu_ns
+                < DictKind::Hash.merge_step_cost(global).cpu_ns
+        );
+        assert!(
+            DictKind::Arena.merge_step_cost(global).cpu_ns
+                < DictKind::BTree.merge_step_cost(global).cpu_ns
+        );
+        // And it carries less traffic than the chained table everywhere.
+        assert!(
+            DictKind::Arena.lookup_cost(185_000).mem_bytes
+                < DictKind::Hash.lookup_cost(185_000).mem_bytes
+        );
+    }
+
+    #[test]
+    fn auto_resolves_per_phase_and_concrete_kinds_resolve_to_themselves() {
+        for threads in [1, 4, 16] {
+            for phase in [DictPhase::WordCount, DictPhase::Merge, DictPhase::Lookup] {
+                let pick = DictKind::Auto.resolve(phase, threads);
+                assert!(
+                    !matches!(pick, DictKind::Auto | DictKind::HashPresized(_)),
+                    "Auto must resolve to a concrete, un-pre-sized kind, got {pick:?}"
+                );
+                assert_eq!(DictKind::BTree.resolve(phase, threads), DictKind::BTree);
+                assert_eq!(
+                    DictKind::PAPER_PRESIZE.resolve(phase, threads),
+                    DictKind::PAPER_PRESIZE
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_never_picks_a_higher_scoring_candidate() {
+        // The pick must be the argmin of the same scores the model
+        // exposes publicly — spot-check Merge, where the cached-hash
+        // advantage is largest.
+        for threads in [1, 4, 16] {
+            let pick = auto_pick(DictPhase::Merge, threads);
+            let bw = contended_ns_per_byte(threads);
+            let score = |k: DictKind| {
+                let c = k.merge_step_cost(150_000);
+                c.cpu_ns + c.mem_bytes * bw
+            };
+            for other in [DictKind::BTree, DictKind::Hash, DictKind::Arena] {
+                assert!(score(pick) <= score(other), "{pick:?} vs {other:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn arena_resident_bytes_are_flat_table_plus_text() {
+        assert_eq!(DictKind::Arena.resident_bytes(0, 0), 0);
+        // 150 entries -> next_pow2(171) = 256 slots.
+        assert_eq!(DictKind::Arena.resident_bytes(150, 1200), 256 * 24 + 1200);
+        assert!(
+            DictKind::Arena.resident_bytes(150, 1200) < DictKind::BTree.resident_bytes(150, 1200)
+        );
     }
 
     #[test]

@@ -19,14 +19,32 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+pub mod arena;
 pub mod atomic;
 pub mod costmodel;
 mod mem;
 pub mod sharded;
 
-pub use costmodel::OpCost;
-pub use mem::{btree_heap_bytes, hash_heap_bytes};
+pub use arena::{ArenaDict, ArenaStats};
+pub use costmodel::{DictPhase, OpCost};
+pub use mem::{arena_heap_bytes, btree_heap_bytes, hash_heap_bytes};
 pub use sharded::ShardedDict;
+
+/// FNV-1a over the word's bytes — the one 64-bit hash the whole pipeline
+/// shares: [`ShardedDict`] routes shards off it (`hash % shards`) and
+/// [`ArenaDict`] derives its slot index from it (high bits of a
+/// Fibonacci multiply, so the two uses stay decorrelated). Stable across
+/// processes, unlike a seeded `DefaultHasher`, so shard assignment and
+/// probe order are deterministic.
+#[inline]
+pub fn hash_word(word: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in word.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
 
 /// Word → `u64` dictionary operations shared by both structures.
 pub trait Dictionary {
@@ -34,11 +52,35 @@ pub trait Dictionary {
     /// Returns the new value.
     fn add(&mut self, word: &str, delta: u64) -> u64;
 
+    /// [`Dictionary::add`] with `word`'s [`hash_word`] value already in
+    /// hand — the hash-once pipeline's entry point. Structures that key
+    /// off that hash ([`ArenaDict`], [`ShardedDict`] routing) override
+    /// this to skip re-hashing; the standard structures ignore the hint
+    /// (their hashers differ).
+    fn add_hashed(&mut self, hash: u64, word: &str, delta: u64) -> u64 {
+        let _ = hash;
+        self.add(word, delta)
+    }
+
     /// Overwrite `word`'s value.
     fn insert(&mut self, word: &str, value: u64);
 
+    /// [`Dictionary::insert`] with a pre-computed [`hash_word`] value
+    /// (see [`Dictionary::add_hashed`]).
+    fn insert_hashed(&mut self, hash: u64, word: &str, value: u64) {
+        let _ = hash;
+        self.insert(word, value);
+    }
+
     /// Current value of `word`, if present.
     fn get(&self, word: &str) -> Option<u64>;
+
+    /// [`Dictionary::get`] with a pre-computed [`hash_word`] value (see
+    /// [`Dictionary::add_hashed`]).
+    fn get_hashed(&self, hash: u64, word: &str) -> Option<u64> {
+        let _ = hash;
+        self.get(word)
+    }
 
     /// Number of distinct words.
     fn len(&self) -> usize;
@@ -223,6 +265,9 @@ impl Dictionary for HashDict {
     }
 
     fn merge_from(&mut self, other: &Self) {
+        // Worst case every key is new: one up-front reservation instead
+        // of incremental growth rehashes mid-merge.
+        self.map.reserve(other.map.len());
         for (k, v) in &other.map {
             self.add(k, *v);
         }
@@ -245,6 +290,13 @@ pub enum DictKind {
     /// Hash table pre-sized to hold this many items (the paper pre-sizes
     /// to 4 K "to minimize resizing overhead").
     HashPresized(usize),
+    /// Arena-interned open-addressing table ([`ArenaDict`]) — this
+    /// repo's third Figure 4 arm.
+    Arena,
+    /// Pick the backend per workflow phase and thread count from the
+    /// cost model (see [`DictKind::resolve`]). Instantiating an
+    /// unresolved `Auto` yields an [`ArenaDict`].
+    Auto,
 }
 
 impl DictKind {
@@ -257,6 +309,7 @@ impl DictKind {
             DictKind::BTree => AnyDict::BTree(BTreeDict::new()),
             DictKind::Hash => AnyDict::Hash(HashDict::new()),
             DictKind::HashPresized(n) => AnyDict::Hash(HashDict::with_presize(*n)),
+            DictKind::Arena | DictKind::Auto => AnyDict::Arena(ArenaDict::new()),
         }
     }
 
@@ -265,7 +318,27 @@ impl DictKind {
         match self {
             DictKind::BTree => "map",
             DictKind::Hash | DictKind::HashPresized(_) => "u-map",
+            DictKind::Arena => "arena",
+            DictKind::Auto => "auto",
         }
+    }
+
+    /// The kind a corpus-wide (never per-document) structure of this
+    /// configuration uses: the pre-sized table degrades to the plain
+    /// hash table, and an unresolved `Auto` falls back to the arena.
+    pub fn global_kind(&self) -> DictKind {
+        match self {
+            DictKind::HashPresized(_) => DictKind::Hash,
+            DictKind::Auto => DictKind::Arena,
+            k => *k,
+        }
+    }
+
+    /// True when dictionaries of this kind key off [`hash_word`], so
+    /// callers profit from computing the hash once per token and passing
+    /// it through [`Dictionary::add_hashed`].
+    pub fn uses_cached_hash(&self) -> bool {
+        matches!(self, DictKind::Arena | DictKind::Auto)
     }
 }
 
@@ -276,18 +349,22 @@ impl std::str::FromStr for DictKind {
             "map" | "btree" => Ok(DictKind::BTree),
             "u-map" | "umap" | "hash" => Ok(DictKind::Hash),
             "u-map-presized" | "hash-presized" => Ok(DictKind::PAPER_PRESIZE),
+            "arena" => Ok(DictKind::Arena),
+            "auto" => Ok(DictKind::Auto),
             other => Err(format!("unknown dictionary kind '{other}'")),
         }
     }
 }
 
-/// Runtime-selected dictionary (enum dispatch over the two structures).
+/// Runtime-selected dictionary (enum dispatch over the three structures).
 #[derive(Debug, Clone)]
 pub enum AnyDict {
     /// Ordered-tree variant.
     BTree(BTreeDict),
     /// Hash-table variant.
     Hash(HashDict),
+    /// Arena-interned open-addressing variant.
+    Arena(ArenaDict),
 }
 
 impl Default for AnyDict {
@@ -301,6 +378,7 @@ macro_rules! dispatch {
         match $self {
             AnyDict::BTree($d) => $e,
             AnyDict::Hash($d) => $e,
+            AnyDict::Arena($d) => $e,
         }
     };
 }
@@ -309,11 +387,20 @@ impl Dictionary for AnyDict {
     fn add(&mut self, word: &str, delta: u64) -> u64 {
         dispatch!(self, d => d.add(word, delta))
     }
+    fn add_hashed(&mut self, hash: u64, word: &str, delta: u64) -> u64 {
+        dispatch!(self, d => d.add_hashed(hash, word, delta))
+    }
     fn insert(&mut self, word: &str, value: u64) {
         dispatch!(self, d => d.insert(word, value))
     }
+    fn insert_hashed(&mut self, hash: u64, word: &str, value: u64) {
+        dispatch!(self, d => d.insert_hashed(hash, word, value))
+    }
     fn get(&self, word: &str) -> Option<u64> {
         dispatch!(self, d => d.get(word))
+    }
+    fn get_hashed(&self, hash: u64, word: &str) -> Option<u64> {
+        dispatch!(self, d => d.get_hashed(hash, word))
     }
     fn len(&self) -> usize {
         dispatch!(self, d => d.len())
@@ -328,6 +415,8 @@ impl Dictionary for AnyDict {
         match (self, other) {
             (AnyDict::BTree(a), AnyDict::BTree(b)) => a.merge_from(b),
             (AnyDict::Hash(a), AnyDict::Hash(b)) => a.merge_from(b),
+            // Same-kind arena merges reuse the source's cached hashes.
+            (AnyDict::Arena(a), AnyDict::Arena(b)) => a.merge_from(b),
             // Mixed merges sum through the generic interface.
             (a, b) => b.for_each_sorted(&mut |w, v| {
                 a.add(w, v);
@@ -348,6 +437,7 @@ mod tests {
             DictKind::BTree.new_dict(),
             DictKind::Hash.new_dict(),
             DictKind::HashPresized(64).new_dict(),
+            DictKind::Arena.new_dict(),
         ]
     }
 
@@ -391,7 +481,7 @@ mod tests {
 
     #[test]
     fn merge_sums_counts() {
-        for kind in [DictKind::BTree, DictKind::Hash] {
+        for kind in [DictKind::BTree, DictKind::Hash, DictKind::Arena] {
             let mut a = kind.new_dict();
             a.add("w", 2);
             a.add("x", 1);
@@ -449,9 +539,62 @@ mod tests {
             "u-map-presized".parse::<DictKind>().unwrap(),
             DictKind::HashPresized(4096)
         );
+        assert_eq!("arena".parse::<DictKind>().unwrap(), DictKind::Arena);
+        assert_eq!("auto".parse::<DictKind>().unwrap(), DictKind::Auto);
         assert!("bogus".parse::<DictKind>().is_err());
         assert_eq!(DictKind::BTree.label(), "map");
         assert_eq!(DictKind::Hash.label(), "u-map");
+        assert_eq!(DictKind::Arena.label(), "arena");
+        assert_eq!(DictKind::Auto.label(), "auto");
+    }
+
+    #[test]
+    fn hash_word_is_fnv1a() {
+        // Spot-check against the published FNV-1a test vectors.
+        assert_eq!(hash_word(""), 0xcbf29ce484222325);
+        assert_eq!(hash_word("a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(hash_word("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn global_kind_and_cached_hash_flags() {
+        assert_eq!(DictKind::PAPER_PRESIZE.global_kind(), DictKind::Hash);
+        assert_eq!(DictKind::Auto.global_kind(), DictKind::Arena);
+        assert_eq!(DictKind::BTree.global_kind(), DictKind::BTree);
+        assert!(DictKind::Arena.uses_cached_hash());
+        assert!(DictKind::Auto.uses_cached_hash());
+        assert!(!DictKind::Hash.uses_cached_hash());
+        assert!(!DictKind::BTree.uses_cached_hash());
+    }
+
+    #[test]
+    fn hashed_defaults_ignore_the_hint_consistently() {
+        // The default-method path (standard structures) must behave the
+        // same whether or not a hash hint is supplied.
+        for mut d in [DictKind::BTree.new_dict(), DictKind::Hash.new_dict()] {
+            let h = hash_word("w");
+            assert_eq!(d.add_hashed(h, "w", 2), 2);
+            d.insert_hashed(h, "w", 5);
+            assert_eq!(d.get_hashed(h, "w"), Some(5));
+            assert_eq!(d.get("w"), Some(5));
+        }
+    }
+
+    #[test]
+    fn mixed_merge_into_and_out_of_arena() {
+        let mut a = DictKind::Arena.new_dict();
+        a.add("w", 1);
+        let mut b = DictKind::Hash.new_dict();
+        b.add("w", 2);
+        b.add("z", 9);
+        a.merge_from(&b);
+        assert_eq!(a.get("w"), Some(3));
+        assert_eq!(a.get("z"), Some(9));
+
+        let mut t = DictKind::BTree.new_dict();
+        t.merge_from(&a);
+        assert_eq!(t.get("w"), Some(3));
+        assert_eq!(t.len(), 2);
     }
 
     #[test]

@@ -61,6 +61,16 @@ fn string_round_up(len: u64, string_bytes: u64) -> u64 {
     string_bytes + len * (STRING_QUANTUM / 2)
 }
 
+/// Heap bytes of an `ArenaDict`: `slot_capacity` 24-byte slots
+/// (`hash: u64`, `offset: u32`, `len: u32`, `value: u64`), the string
+/// arena's capacity, and 4 bytes per entry of the lazily built sorted
+/// index (`index_len` is 0 until `for_each_sorted` runs). Unlike the
+/// standard structures this is exact, not an estimate: there is no
+/// per-key allocation to approximate.
+pub fn arena_heap_bytes(slot_capacity: u64, arena_capacity: u64, index_len: u64) -> u64 {
+    slot_capacity * 24 + arena_capacity + index_len * 4
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,6 +79,19 @@ mod tests {
     fn empty_structures_report_zero() {
         assert_eq!(btree_heap_bytes(0, 0), 0);
         assert_eq!(hash_heap_bytes(0, 0), 0);
+        assert_eq!(arena_heap_bytes(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn arena_is_denser_than_either_standard_structure() {
+        // 10k entries of ~8-byte words: table at 7/8 load plus the raw
+        // text, no per-key boxes.
+        let len = 10_000u64;
+        let text = len * 8;
+        let slot_cap = (len * 8 / 7).next_power_of_two();
+        let arena = arena_heap_bytes(slot_cap, text, len);
+        assert!(arena < btree_heap_bytes(len, text), "vs btree");
+        assert!(arena < hash_heap_bytes(len, text), "vs hash");
     }
 
     #[test]

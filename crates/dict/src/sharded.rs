@@ -10,7 +10,7 @@
 //! configuration depends on the degree of parallelism).
 
 use crate::atomic::{AtomicU64, Ordering::Relaxed};
-use crate::{AnyDict, DictKind, Dictionary};
+use crate::{hash_word, AnyDict, DictKind, Dictionary};
 use std::hash::{Hash, Hasher};
 
 /// Per-shard activity counters (relaxed atomics so `get` can count
@@ -37,15 +37,25 @@ pub struct ShardedDict {
     stats: Vec<ShardStats>,
 }
 
-fn shard_of(word: &str, shards: usize) -> usize {
-    // FNV-1a: stable across processes (unlike `DefaultHasher` seeds would
-    // be if randomized), so shard assignment is deterministic.
-    let mut h = 0xcbf29ce484222325u64;
-    for b in word.as_bytes() {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x100000001b3);
+/// Which shard of `shards` the word routes to. A single shard needs no
+/// routing, so the hash is skipped entirely; the hot paths inline the
+/// same logic to reuse an already-computed [`hash_word`] value.
+pub fn shard_of(word: &str, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
     }
-    (h % shards as u64) as usize
+    shard_from_hash(hash_word(word), shards)
+}
+
+/// Route a pre-computed [`hash_word`] value to a shard. The router takes
+/// the hash modulo the shard count (its low bits); [`crate::ArenaDict`]
+/// derives its slot index from the *high* bits of the same hash, so the
+/// two stay decorrelated.
+fn shard_from_hash(hash: u64, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    (hash % shards as u64) as usize
 }
 
 impl ShardedDict {
@@ -130,21 +140,48 @@ impl ShardedDict {
 
 impl Dictionary for ShardedDict {
     fn add(&mut self, word: &str, delta: u64) -> u64 {
-        let s = shard_of(word, self.shards.len());
+        // With one shard the hash would route nowhere; let the backend
+        // hash (or not) as it pleases. With several, hash once and hand
+        // the value to both the router and the shard's table.
+        if self.shards.len() == 1 {
+            self.stats[0].inserts.fetch_add(1, Relaxed);
+            return self.shards[0].add(word, delta);
+        }
+        self.add_hashed(hash_word(word), word, delta)
+    }
+
+    fn add_hashed(&mut self, hash: u64, word: &str, delta: u64) -> u64 {
+        let s = shard_from_hash(hash, self.shards.len());
         self.stats[s].inserts.fetch_add(1, Relaxed);
-        self.shards[s].add(word, delta)
+        self.shards[s].add_hashed(hash, word, delta)
     }
 
     fn insert(&mut self, word: &str, value: u64) {
-        let s = shard_of(word, self.shards.len());
+        if self.shards.len() == 1 {
+            self.stats[0].inserts.fetch_add(1, Relaxed);
+            return self.shards[0].insert(word, value);
+        }
+        self.insert_hashed(hash_word(word), word, value);
+    }
+
+    fn insert_hashed(&mut self, hash: u64, word: &str, value: u64) {
+        let s = shard_from_hash(hash, self.shards.len());
         self.stats[s].inserts.fetch_add(1, Relaxed);
-        self.shards[s].insert(word, value);
+        self.shards[s].insert_hashed(hash, word, value);
     }
 
     fn get(&self, word: &str) -> Option<u64> {
-        let s = shard_of(word, self.shards.len());
+        if self.shards.len() == 1 {
+            self.stats[0].lookups.fetch_add(1, Relaxed);
+            return self.shards[0].get(word);
+        }
+        self.get_hashed(hash_word(word), word)
+    }
+
+    fn get_hashed(&self, hash: u64, word: &str) -> Option<u64> {
+        let s = shard_from_hash(hash, self.shards.len());
         self.stats[s].lookups.fetch_add(1, Relaxed);
-        self.shards[s].get(word)
+        self.shards[s].get_hashed(hash, word)
     }
 
     fn len(&self) -> usize {
@@ -303,5 +340,36 @@ mod tests {
         d.add("only", 1);
         assert_eq!(d.len(), 1);
         assert_eq!(d.shard_count(), 1);
+        assert_eq!(shard_of("anything", 1), 0);
+    }
+
+    #[test]
+    fn hashed_routing_matches_plain_routing() {
+        let mut plain = ShardedDict::new(DictKind::Hash, 4);
+        let mut hashed = ShardedDict::new(DictKind::Hash, 4);
+        for (i, w) in ["one", "two", "three", "four", "one"].iter().enumerate() {
+            plain.add(w, i as u64 + 1);
+            hashed.add_hashed(hash_word(w), w, i as u64 + 1);
+        }
+        for s in 0..4 {
+            assert_eq!(plain.shard(s).len(), hashed.shard(s).len(), "shard {s}");
+        }
+        for w in ["one", "two", "three", "four"] {
+            assert_eq!(plain.get(w), hashed.get_hashed(hash_word(w), w));
+        }
+        assert_eq!(plain.shard_stats(), hashed.shard_stats());
+    }
+
+    #[test]
+    fn arena_shards_share_the_routing_hash() {
+        let mut d = ShardedDict::new(DictKind::Arena, 8);
+        for w in ["pear", "apple", "zebra", "fig", "mango", "pear"] {
+            d.add(w, 1);
+        }
+        assert_eq!(d.get("pear"), Some(2));
+        assert_eq!(d.len(), 5);
+        let mut seen = Vec::new();
+        d.for_each_sorted(&mut |w, _| seen.push(w.to_string()));
+        assert_eq!(seen, ["apple", "fig", "mango", "pear", "zebra"]);
     }
 }

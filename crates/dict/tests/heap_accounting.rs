@@ -1,0 +1,42 @@
+//! Cross-check: every backend's `heap_bytes()` against the counting
+//! global allocator. The tree and hash figures are analytic estimates
+//! (node occupancy, allocation quanta), so the stated tolerance is a
+//! factor of two in either direction; the arena's figure is exact
+//! (`slots + arena + sorted index`), so it gets a tight 2% band.
+//!
+//! Own integration-test binary: installing [`CountingAllocator`] as the
+//! global allocator must not affect the other test binaries.
+
+use hpa_dict::{DictKind, Dictionary};
+use hpa_metrics::alloc::{CountingAllocator, HeapGauge};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn reported_heap_bytes_track_the_counting_allocator() {
+    // Materialize the words first so the gauged region contains only the
+    // dictionary's own allocations.
+    let words: Vec<String> = (0..5000).map(|i| format!("word{:05}", i * 7)).collect();
+    assert!(HeapGauge::is_active(), "counting allocator not installed");
+    for kind in [DictKind::BTree, DictKind::Hash, DictKind::Arena] {
+        let gauge = HeapGauge::start();
+        let mut d = kind.new_dict();
+        for w in &words {
+            d.add(w, 1);
+        }
+        let measured = gauge.live_growth() as f64;
+        let reported = d.heap_bytes() as f64;
+        assert!(measured > 0.0, "{kind:?}: gauge saw nothing");
+        let ratio = reported / measured;
+        let (lo, hi) = match kind {
+            DictKind::Arena => (0.98, 1.02),
+            _ => (0.5, 2.0),
+        };
+        assert!(
+            (lo..=hi).contains(&ratio),
+            "{kind:?}: reported {reported} vs allocator {measured} (ratio {ratio:.3})"
+        );
+        drop(d);
+    }
+}

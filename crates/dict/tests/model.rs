@@ -77,8 +77,13 @@ proptest! {
     }
 
     #[test]
+    fn arena_matches_model(ops in arb_ops()) {
+        check_kind(DictKind::Arena, &ops);
+    }
+
+    #[test]
     fn merge_equals_model_union(a in arb_ops(), b in arb_ops()) {
-        for kind in [DictKind::BTree, DictKind::Hash] {
+        for kind in [DictKind::BTree, DictKind::Hash, DictKind::Arena] {
             let mut da = kind.new_dict();
             let mut db = kind.new_dict();
             let mut model: BTreeMap<String, u64> = BTreeMap::new();

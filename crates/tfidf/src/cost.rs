@@ -22,8 +22,12 @@ pub const DISTINCT_FRACTION: f64 = 0.45;
 pub const TOKENIZE_NS_PER_BYTE: f64 = 0.8;
 
 /// Cost of the input + word-count work for the documents of `range`.
+/// `kind` backs the per-document counters, `df_kind` the chunk-local
+/// document-frequency dictionary — under `DictKind::Auto` the two phases
+/// may resolve to different backends.
 pub fn wc_chunk_cost(
     kind: DictKind,
+    df_kind: DictKind,
     docs: &[Document],
     range: Range<usize>,
     charge_io: bool,
@@ -48,11 +52,7 @@ pub fn wc_chunk_cost(
     // Document-frequency updates: one per distinct token, into a
     // chunk-local dictionary that grows toward vocabulary scale. The
     // global structure is never the pre-sized per-document kind.
-    let df_kind = match kind {
-        DictKind::HashPresized(_) => DictKind::Hash,
-        k => k,
-    };
-    let df_up = df_kind.increment_cost(50_000);
+    let df_up = df_kind.global_kind().increment_cost(50_000);
 
     let cpu = bytes as f64 * (TOKENIZE_NS_PER_BYTE + READ_CPU_NS_PER_BYTE)
         + files as f64 * create.cpu_ns
@@ -73,17 +73,16 @@ pub fn wc_chunk_cost(
 }
 
 /// Cost of merging one chunk-local document-frequency dictionary into the
-/// global one (the serial tail of the word-count phase).
-pub fn df_merge_cost(kind: DictKind, num_docs: usize, threads: usize) -> TaskCost {
+/// global one (the serial tail of the word-count phase). `df_kind` is the
+/// kind backing the document-frequency dictionaries themselves.
+pub fn df_merge_cost(df_kind: DictKind, num_docs: usize, threads: usize) -> TaskCost {
     // Each partial holds roughly the vocabulary observed in its share of
-    // the documents; merging re-inserts each entry once.
+    // the documents; merging folds each entry in once. The arena folds by
+    // cached hash (no re-hash of the source key); the standard structures
+    // re-hash or re-compare every key, which `merge_step_cost` prices.
     let tokens_per_chunk = num_docs as f64 / threads.max(1) as f64 * 400.0;
     let entries = (tokens_per_chunk * 0.25).min(300_000.0);
-    let kind = match kind {
-        DictKind::HashPresized(_) => DictKind::Hash,
-        k => k,
-    };
-    let up = kind.increment_cost(150_000);
+    let up = df_kind.global_kind().merge_step_cost(150_000);
     TaskCost {
         cpu_ns: (entries * up.cpu_ns) as u64,
         mem_bytes: (entries * up.mem_bytes) as u64,
@@ -92,14 +91,11 @@ pub fn df_merge_cost(kind: DictKind, num_docs: usize, threads: usize) -> TaskCos
 }
 
 /// Cost of building the vocabulary: one sorted walk over the global
-/// dictionary plus one insert per word into the index.
-pub fn vocab_build_cost(kind: DictKind, vocab_len: usize) -> TaskCost {
-    let kind = match kind {
-        DictKind::HashPresized(_) => DictKind::Hash,
-        k => k,
-    };
-    let walk = kind.sorted_iter_cost(vocab_len);
-    let insert = kind.insert_cost(vocab_len);
+/// document-frequency dictionary (`df_kind`) plus one insert per word
+/// into the lookup index (`index_kind`).
+pub fn vocab_build_cost(df_kind: DictKind, index_kind: DictKind, vocab_len: usize) -> TaskCost {
+    let walk = df_kind.global_kind().sorted_iter_cost(vocab_len);
+    let insert = index_kind.global_kind().insert_cost(vocab_len);
     let per_word = walk.cpu_ns + insert.cpu_ns + 30.0; // +30ns string copy
     let per_word_mem = walk.mem_bytes + insert.mem_bytes + 24.0;
     TaskCost {
@@ -114,8 +110,11 @@ pub fn vocab_build_cost(kind: DictKind, vocab_len: usize) -> TaskCost {
 /// per-document dictionary, one lookup in the vocabulary index, the
 /// score computation, and a numeric sort of the resulting id/weight
 /// pairs (trivial for the tree, whose walk already yields id order).
+/// `iter_kind` backs the per-document counters being walked; `lookup_kind`
+/// backs the vocabulary index being probed.
 pub fn transform_chunk_cost(
-    kind: DictKind,
+    iter_kind: DictKind,
+    lookup_kind: DictKind,
     per_doc: &[crate::DocTermCounts],
     vocab_len: usize,
     range: Range<usize>,
@@ -123,18 +122,14 @@ pub fn transform_chunk_cost(
     let mut cpu = 0.0;
     let mut mem = 0.0;
     // The vocabulary index is the global (never pre-sized) structure.
-    let lookup_kind = match kind {
-        DictKind::HashPresized(_) => DictKind::Hash,
-        k => k,
-    };
-    let lookup = lookup_kind.lookup_cost(vocab_len);
+    let lookup = lookup_kind.global_kind().lookup_cost(vocab_len);
     for i in range {
         let k = per_doc[i].counts.len();
-        let iter = kind.iter_step_cost(k);
+        let iter = iter_kind.iter_step_cost(k);
         // Numeric pair sort: the tree yields ids pre-sorted (branch-
         // predictable ~3 ns/elem verification), hash kinds pay a real
         // sort of ~12·log2(k) ns/elem.
-        let sort = match kind {
+        let sort = match iter_kind {
             DictKind::BTree => 3.0,
             _ => 12.0 * (k.max(2) as f64).log2(),
         };
@@ -256,8 +251,14 @@ mod tests {
     fn wc_cost_scales_with_bytes() {
         let c = sample_corpus();
         let docs = c.documents();
-        let half = wc_chunk_cost(DictKind::BTree, docs, 0..docs.len() / 2, true);
-        let full = wc_chunk_cost(DictKind::BTree, docs, 0..docs.len(), true);
+        let half = wc_chunk_cost(
+            DictKind::BTree,
+            DictKind::BTree,
+            docs,
+            0..docs.len() / 2,
+            true,
+        );
+        let full = wc_chunk_cost(DictKind::BTree, DictKind::BTree, docs, 0..docs.len(), true);
         assert!(full.cpu_ns > half.cpu_ns);
         assert_eq!(full.io_ops, docs.len() as u64);
         assert_eq!(full.io_read_bytes, c.total_bytes());
@@ -266,7 +267,13 @@ mod tests {
     #[test]
     fn wc_without_io_charge_has_no_io() {
         let c = sample_corpus();
-        let cost = wc_chunk_cost(DictKind::Hash, c.documents(), 0..c.len(), false);
+        let cost = wc_chunk_cost(
+            DictKind::Hash,
+            DictKind::Hash,
+            c.documents(),
+            0..c.len(),
+            false,
+        );
         assert_eq!(cost.io_read_bytes, 0);
         assert_eq!(cost.io_ops, 0);
         assert!(cost.cpu_ns > 0);
@@ -278,8 +285,20 @@ mod tests {
         // is the 4K-pre-sized table, whose creation cost and cold sparse
         // array dominate the insert-heavy phase.
         let c = sample_corpus();
-        let map = wc_chunk_cost(DictKind::BTree, c.documents(), 0..c.len(), false);
-        let umap = wc_chunk_cost(DictKind::PAPER_PRESIZE, c.documents(), 0..c.len(), false);
+        let map = wc_chunk_cost(
+            DictKind::BTree,
+            DictKind::BTree,
+            c.documents(),
+            0..c.len(),
+            false,
+        );
+        let umap = wc_chunk_cost(
+            DictKind::PAPER_PRESIZE,
+            DictKind::PAPER_PRESIZE,
+            c.documents(),
+            0..c.len(),
+            false,
+        );
         assert!(
             umap.cpu_ns > map.cpu_ns,
             "umap {} map {}",
@@ -300,8 +319,20 @@ mod tests {
         });
         let counts = op.count_words(&exec, &c);
         let v = 185_000;
-        let map = transform_chunk_cost(DictKind::BTree, &counts.per_doc, v, 0..c.len());
-        let umap = transform_chunk_cost(DictKind::Hash, &counts.per_doc, v, 0..c.len());
+        let map = transform_chunk_cost(
+            DictKind::BTree,
+            DictKind::BTree,
+            &counts.per_doc,
+            v,
+            0..c.len(),
+        );
+        let umap = transform_chunk_cost(
+            DictKind::Hash,
+            DictKind::Hash,
+            &counts.per_doc,
+            v,
+            0..c.len(),
+        );
         assert!(
             umap.cpu_ns < map.cpu_ns,
             "umap cpu {} map cpu {}",
@@ -314,6 +345,29 @@ mod tests {
             umap.mem_bytes,
             map.mem_bytes
         );
+    }
+
+    #[test]
+    fn arena_merge_is_cheaper_than_rehashing_merges() {
+        // The cached-hash fold skips the per-key re-hash (hash kinds) and
+        // the per-key comparison descent (tree); unresolved Auto prices
+        // like the arena it degrades to.
+        let arena = df_merge_cost(DictKind::Arena, 20_000, 4);
+        let hash = df_merge_cost(DictKind::Hash, 20_000, 4);
+        let btree = df_merge_cost(DictKind::BTree, 20_000, 4);
+        assert!(
+            arena.cpu_ns < hash.cpu_ns,
+            "{} vs {}",
+            arena.cpu_ns,
+            hash.cpu_ns
+        );
+        assert!(
+            arena.cpu_ns < btree.cpu_ns,
+            "{} vs {}",
+            arena.cpu_ns,
+            btree.cpu_ns
+        );
+        assert_eq!(df_merge_cost(DictKind::Auto, 20_000, 4), arena);
     }
 
     #[test]

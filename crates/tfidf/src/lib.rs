@@ -28,7 +28,7 @@ pub use vocab::Vocab;
 
 use hpa_arff::{parse_data_line, ArffError, ArffHeader, ArffReader, ArffWriter};
 use hpa_corpus::{Corpus, Tokenizer};
-use hpa_dict::{AnyDict, DictKind, Dictionary};
+use hpa_dict::{hash_word, AnyDict, DictKind, DictPhase, Dictionary};
 use hpa_exec::sync::Mutex;
 use hpa_exec::{Exec, TaskCost};
 use hpa_io::{ByteCounter, Sequencer};
@@ -87,8 +87,13 @@ pub struct WordCounts {
     pub df: AnyDict,
     /// Total bytes of text processed.
     pub bytes: u64,
-    /// Dictionary kind the counts were built with.
+    /// Dictionary kind the per-document counts were built with (already
+    /// resolved — never [`DictKind::Auto`]).
     pub dict_kind: DictKind,
+    /// Dictionary kind the document-frequency dictionaries were built
+    /// with (already resolved). Under `Auto` this may differ from
+    /// [`WordCounts::dict_kind`]: the selector is per phase.
+    pub df_kind: DictKind,
 }
 
 impl WordCounts {
@@ -121,11 +126,11 @@ impl WordCounts {
             .for_each_sorted(&mut |w, _| df_strings += w.len() as u64);
         // The global DF dictionary is built once (never pre-sized per
         // document), so charge it as a plain structure of its kind.
-        let global_kind = match self.dict_kind {
-            DictKind::HashPresized(_) => DictKind::Hash,
-            k => k,
-        };
-        total + global_kind.resident_bytes(self.df.len(), df_strings)
+        total
+            + self
+                .df_kind
+                .global_kind()
+                .resident_bytes(self.df.len(), df_strings)
     }
 }
 
@@ -155,9 +160,23 @@ impl TfIdf {
     }
 
     /// Phase 1: parallel tokenize + count. ("input+wc" in the figures.)
+    ///
+    /// Under [`DictKind::Auto`] the per-document counters and the
+    /// chunk-local document-frequency dictionaries resolve independently
+    /// (the per-phase cost model may pick different backends for the
+    /// insert-heavy and merge-heavy roles). When either resolved kind
+    /// caches hashes, each token is hashed exactly once and the value is
+    /// handed to both dictionaries' `*_hashed` entry points.
     pub fn count_words(&self, exec: &Exec, corpus: &Corpus) -> WordCounts {
         let _span = hpa_trace::span!("tfidf", "count-words", corpus.len() as u64);
-        let kind = self.config.dict_kind;
+        let kind = self
+            .config
+            .dict_kind
+            .resolve(DictPhase::WordCount, exec.threads());
+        let df_kind = self
+            .config
+            .dict_kind
+            .resolve(DictPhase::Merge, exec.threads());
         let n = corpus.len();
         let docs = corpus.documents();
         let slots: Vec<Mutex<Option<DocTermCounts>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -171,21 +190,32 @@ impl TfIdf {
             n.div_ceil(exec.threads())
         };
         let charge_io = self.config.charge_input_io;
+        let hash_once = kind.uses_cached_hash() || df_kind.uses_cached_hash();
         let df = exec.par_fold_reduce(
             n,
             df_grain,
-            || kind.new_dict(),
+            || df_kind.new_dict(),
             |mut df_local: AnyDict, i| {
                 let doc = &docs[i];
                 let mut counts = kind.new_dict();
                 let mut tok = Tokenizer::new();
                 let mut total_terms = 0u64;
-                tok.for_each(&doc.text, |w| {
-                    total_terms += 1;
-                    if counts.add(w, 1) == 1 {
-                        df_local.add(w, 1);
-                    }
-                });
+                if hash_once {
+                    tok.for_each(&doc.text, |w| {
+                        total_terms += 1;
+                        let h = hash_word(w);
+                        if counts.add_hashed(h, w, 1) == 1 {
+                            df_local.add_hashed(h, w, 1);
+                        }
+                    });
+                } else {
+                    tok.for_each(&doc.text, |w| {
+                        total_terms += 1;
+                        if counts.add(w, 1) == 1 {
+                            df_local.add(w, 1);
+                        }
+                    });
+                }
                 *slots[i].lock() = Some(DocTermCounts {
                     counts,
                     total_terms,
@@ -196,10 +226,10 @@ impl TfIdf {
                 a.merge_from(&b);
                 a
             },
-            |range| cost::wc_chunk_cost(kind, docs, range, charge_io),
-            cost::df_merge_cost(kind, n, exec.threads()),
+            |range| cost::wc_chunk_cost(kind, df_kind, docs, range, charge_io),
+            cost::df_merge_cost(df_kind, n, exec.threads()),
         );
-        let df = df.unwrap_or_else(|| kind.new_dict());
+        let df = df.unwrap_or_else(|| df_kind.new_dict());
 
         let per_doc: Vec<DocTermCounts> = slots
             .into_iter()
@@ -210,6 +240,7 @@ impl TfIdf {
             df,
             bytes: corpus.total_bytes(),
             dict_kind: kind,
+            df_kind,
         }
     }
 
@@ -219,12 +250,16 @@ impl TfIdf {
     /// hash table).
     pub fn build_vocab(&self, exec: &Exec, counts: &WordCounts) -> Vocab {
         let _span = hpa_trace::span!("tfidf", "build-vocab", counts.df.len() as u64);
-        let kind = self.config.dict_kind;
+        let index_kind = self
+            .config
+            .dict_kind
+            .resolve(DictPhase::Lookup, exec.threads());
         let max_df = (self.config.max_df_fraction * counts.num_docs() as f64).ceil() as u64;
         let min_df = self.config.min_df.max(1) as u64;
-        exec.serial(cost::vocab_build_cost(kind, counts.df.len()), || {
-            Vocab::from_df_dict_pruned(kind, &counts.df, min_df, max_df)
-        })
+        exec.serial(
+            cost::vocab_build_cost(counts.df_kind, index_kind, counts.df.len()),
+            || Vocab::from_df_dict_pruned(index_kind, &counts.df, min_df, max_df),
+        )
     }
 
     /// Phase 2a ("transform"): parallel conversion of term counts into
@@ -233,7 +268,11 @@ impl TfIdf {
         let _span = hpa_trace::span!("tfidf", "transform", counts.num_docs() as u64);
         let n = counts.num_docs();
         let num_docs = n;
-        let kind = self.config.dict_kind;
+        // Cost the walk with the kind the counts were actually built with
+        // and the lookups with the kind backing the vocabulary index —
+        // under `Auto` the two need not match the configured kind.
+        let iter_kind = counts.dict_kind;
+        let lookup_kind = vocab.kind();
         let slots: Vec<Mutex<Option<SparseVec>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let per_doc = &counts.per_doc;
         exec.par_for_costed(
@@ -255,7 +294,7 @@ impl TfIdf {
                 v.normalize();
                 *slots[i].lock() = Some(v);
             },
-            |range| cost::transform_chunk_cost(kind, per_doc, vocab.len(), range),
+            |range| cost::transform_chunk_cost(iter_kind, lookup_kind, per_doc, vocab.len(), range),
         );
         let vectors = slots
             .into_iter()
@@ -581,7 +620,12 @@ mod tests {
 
     #[test]
     fn word_counts_match_hand_computation() {
-        for kind in [DictKind::BTree, DictKind::Hash] {
+        for kind in [
+            DictKind::BTree,
+            DictKind::Hash,
+            DictKind::Arena,
+            DictKind::Auto,
+        ] {
             let exec = Exec::sequential();
             let counts = op(kind).count_words(&exec, &corpus());
             assert_eq!(counts.num_docs(), 3);
@@ -646,17 +690,66 @@ mod tests {
     }
 
     #[test]
-    fn results_identical_across_executors() {
-        let seq = op(DictKind::BTree).fit(&Exec::sequential(), &corpus());
-        for exec in [
-            Exec::pool(3),
-            Exec::simulated(4, hpa_exec::MachineModel::default()),
+    fn every_dict_kind_is_bit_identical_to_the_tree() {
+        // Stronger than the tolerance check above: same f64 bits. Term
+        // ids come from a sorted walk and each weight is computed from
+        // (tf, df, N) in term-id order, so storage layout must not leak
+        // into the output at all.
+        let exec = Exec::sequential();
+        let reference = op(DictKind::BTree).fit(&exec, &corpus());
+        for kind in [
+            DictKind::Hash,
+            DictKind::PAPER_PRESIZE,
+            DictKind::Arena,
+            DictKind::Auto,
         ] {
-            let other = op(DictKind::BTree).fit(&exec, &corpus());
-            assert_eq!(seq.vectors.len(), other.vectors.len());
-            for (x, y) in seq.vectors.iter().zip(&other.vectors) {
-                assert_eq!(x.terms(), y.terms(), "under {exec:?}");
-                assert_eq!(x.weights(), y.weights(), "under {exec:?}");
+            let other = op(kind).fit(&exec, &corpus());
+            assert_eq!(reference.vocab.len(), other.vocab.len(), "{kind:?}");
+            for id in 0..reference.vocab.len() as u32 {
+                assert_eq!(reference.vocab.word(id), other.vocab.word(id), "{kind:?}");
+                assert_eq!(reference.vocab.df(id), other.vocab.df(id), "{kind:?}");
+            }
+            for (x, y) in reference.vectors.iter().zip(&other.vectors) {
+                assert_eq!(x.terms(), y.terms(), "{kind:?}");
+                assert_eq!(x.weights(), y.weights(), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_resolves_every_phase_to_a_concrete_kind() {
+        let exec = Exec::pool(2);
+        let o = op(DictKind::Auto);
+        let counts = o.count_words(&exec, &corpus());
+        assert_ne!(counts.dict_kind, DictKind::Auto);
+        assert_ne!(counts.df_kind, DictKind::Auto);
+        let vocab = o.build_vocab(&exec, &counts);
+        assert_ne!(vocab.kind(), DictKind::Auto);
+        // The resolved kinds follow the published selector.
+        assert_eq!(
+            counts.dict_kind,
+            DictKind::Auto.resolve(DictPhase::WordCount, 2)
+        );
+        assert_eq!(counts.df_kind, DictKind::Auto.resolve(DictPhase::Merge, 2));
+        // And the model itself is usable end to end.
+        let model = o.transform(&exec, &counts, &vocab);
+        assert_eq!(model.vectors.len(), 3);
+    }
+
+    #[test]
+    fn results_identical_across_executors() {
+        for kind in [DictKind::BTree, DictKind::Arena, DictKind::Auto] {
+            let seq = op(kind).fit(&Exec::sequential(), &corpus());
+            for exec in [
+                Exec::pool(3),
+                Exec::simulated(4, hpa_exec::MachineModel::default()),
+            ] {
+                let other = op(kind).fit(&exec, &corpus());
+                assert_eq!(seq.vectors.len(), other.vectors.len());
+                for (x, y) in seq.vectors.iter().zip(&other.vectors) {
+                    assert_eq!(x.terms(), y.terms(), "{kind:?} under {exec:?}");
+                    assert_eq!(x.weights(), y.weights(), "{kind:?} under {exec:?}");
+                }
             }
         }
     }

@@ -31,11 +31,9 @@ impl Vocab {
         let mut words: Vec<Box<str>> = Vec::with_capacity(df.len());
         let mut dfs: Vec<u32> = Vec::with_capacity(df.len());
         // The global index is never per-document, so a pre-sized kind
-        // degrades to the plain hash table here.
-        let index_kind = match kind {
-            DictKind::HashPresized(_) => DictKind::Hash,
-            k => k,
-        };
+        // degrades to the plain hash table (and an unresolved `Auto` to
+        // the arena) here.
+        let index_kind = kind.global_kind();
         let mut index = index_kind.new_dict();
         df.for_each_sorted(&mut |word, count| {
             if count < min_df || count > max_df {
@@ -119,7 +117,12 @@ mod tests {
 
     #[test]
     fn lookup_round_trips_every_word() {
-        for kind in [DictKind::BTree, DictKind::Hash, DictKind::HashPresized(16)] {
+        for kind in [
+            DictKind::BTree,
+            DictKind::Hash,
+            DictKind::HashPresized(16),
+            DictKind::Arena,
+        ] {
             let v = Vocab::from_df_dict(kind, &df_dict());
             for id in 0..v.len() as u32 {
                 let (got_id, got_df) = v.lookup(v.word(id)).unwrap();
@@ -134,6 +137,23 @@ mod tests {
     fn presized_kind_degrades_to_plain_hash() {
         let v = Vocab::from_df_dict(DictKind::HashPresized(4096), &df_dict());
         assert_eq!(v.kind(), DictKind::Hash);
+    }
+
+    #[test]
+    fn unresolved_auto_degrades_to_arena() {
+        let v = Vocab::from_df_dict(DictKind::Auto, &df_dict());
+        assert_eq!(v.kind(), DictKind::Arena);
+        assert_eq!(v.lookup("apple"), Some((0, 7)));
+    }
+
+    #[test]
+    fn arena_index_orders_ids_like_the_tree() {
+        let tree = Vocab::from_df_dict(DictKind::BTree, &df_dict());
+        let arena = Vocab::from_df_dict(DictKind::Arena, &df_dict());
+        for id in 0..tree.len() as u32 {
+            assert_eq!(tree.word(id), arena.word(id));
+            assert_eq!(tree.df(id), arena.df(id));
+        }
     }
 
     #[test]

@@ -32,7 +32,13 @@ fn builder(kind: DictKind) -> hpa::workflow::WorkflowBuilder {
 fn discrete_equals_fused_for_every_dictionary_kind() {
     let corpus = corpus();
     let exec = Exec::sequential();
-    for kind in [DictKind::BTree, DictKind::Hash, DictKind::PAPER_PRESIZE] {
+    for kind in [
+        DictKind::BTree,
+        DictKind::Hash,
+        DictKind::PAPER_PRESIZE,
+        DictKind::Arena,
+        DictKind::Auto,
+    ] {
         let fused = builder(kind).fused().run(&corpus, &exec).unwrap();
         let discrete = builder(kind).discrete().run(&corpus, &exec).unwrap();
         assert_eq!(
@@ -54,7 +60,12 @@ fn dictionary_kind_never_changes_the_answer() {
         .fused()
         .run(&corpus, &exec)
         .unwrap();
-    for kind in [DictKind::Hash, DictKind::PAPER_PRESIZE] {
+    for kind in [
+        DictKind::Hash,
+        DictKind::PAPER_PRESIZE,
+        DictKind::Arena,
+        DictKind::Auto,
+    ] {
         let other = builder(kind).fused().run(&corpus, &exec).unwrap();
         assert_eq!(reference.assignments, other.assignments, "{kind:?}");
         assert_eq!(reference.dim, other.dim);
