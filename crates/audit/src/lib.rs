@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+//! Trace-backed cost-model conformance for the hpa workspace.
+//!
+//! The workspace's analytic cost model is load-bearing: it drives the
+//! simulator's clock, the dict `Auto` backend selection, and the
+//! work-stealing grain heuristics. This crate closes the loop between
+//! what that model *predicts* and what traced runs *measure*:
+//!
+//! * [`ledger`] — joins one [`hpa_trace::Recording`]'s measured spans,
+//!   counters, and cost-model predictions into a per-phase
+//!   [`ledger::RunLedger`] with error ratios and conformance statuses,
+//!   exported as `results/LEDGER_*.json` plus readable text.
+//! * [`calib`] — fits per-phase scale constants from measured ledgers
+//!   (least squares through the origin), reports drift against the
+//!   hard-coded constants, and flags drift that would flip an `Auto`
+//!   selection (dict backend, assignment kernel).
+//! * [`gate`] — compares freshly generated `BENCH_*.json` artifacts
+//!   against committed baselines under explicit noise tolerances; CI
+//!   runs it as the perf-regression gate.
+//! * [`json`] — the dependency-free JSON reader behind the gate.
+//!
+//! Two binaries expose the loop: `calibrate` (traced run → ledger →
+//! fits → flip checks) and `perf-gate` (baseline vs fresh artifact
+//! comparison with a non-zero exit on regression). See DESIGN.md §12.
+
+pub mod calib;
+pub mod gate;
+pub mod json;
+pub mod ledger;

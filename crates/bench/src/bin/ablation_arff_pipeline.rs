@@ -16,6 +16,7 @@
 //! Emits `BENCH_arff_pipeline.json` into the output directory (the CI
 //! bench-smoke artifact) alongside the usual CSV report.
 
+use hpa_bench::json::JsonWriter;
 use hpa_bench::BenchConfig;
 use hpa_core::{DiscreteIo, WorkflowBuilder};
 use hpa_dict::DictKind;
@@ -23,7 +24,6 @@ use hpa_exec::Exec;
 use hpa_kmeans::KMeansConfig;
 use hpa_metrics::{ExperimentReport, Table};
 use hpa_tfidf::{TfIdf, TfIdfConfig};
-use std::fmt::Write as _;
 
 /// Phase seconds of one discrete-workflow run.
 struct Run {
@@ -175,44 +175,32 @@ fn reference_index(runs: &[Run]) -> usize {
 fn render_json(cfg: &BenchConfig, corpus: &str, serial: &[Run], pipelined: &[Run]) -> String {
     let i = reference_index(serial);
     let (s4, p4) = (&serial[i], &pipelined[i]);
-    let mut out = String::new();
-    out.push_str("{\n");
-    let _ = writeln!(out, "  \"bench\": \"arff_pipeline\",");
-    let _ = writeln!(out, "  \"corpus\": \"{corpus}\",");
-    let _ = writeln!(out, "  \"scale\": {},", cfg.scale);
-    let _ = writeln!(out, "  \"seed\": {},", cfg.seed);
-    let _ = writeln!(out, "  \"reference_threads\": {},", s4.threads);
-    let _ = writeln!(
-        out,
-        "  \"kmeans_input_speedup\": {:.4},",
-        s4.read_s / p4.read_s.max(1e-12)
-    );
-    let _ = writeln!(
-        out,
-        "  \"tfidf_output_speedup\": {:.4},",
-        s4.write_s / p4.write_s.max(1e-12)
-    );
-    out.push_str("  \"arms\": [\n");
-    let arms = [("serial", serial), ("pipelined", pipelined)];
-    for (ai, (label, runs)) in arms.iter().enumerate() {
-        out.push_str("    {\n");
-        let _ = writeln!(out, "      \"io\": \"{label}\",");
-        out.push_str("      \"runs\": [\n");
-        for (ri, r) in runs.iter().enumerate() {
-            let _ = write!(
-                out,
-                "        {{\"threads\": {}, \"tfidf_output_s\": {:.6}, \"kmeans_input_s\": {:.6}, \"total_s\": {:.6}}}",
-                r.threads, r.write_s, r.read_s, r.total_s
-            );
-            out.push_str(if ri + 1 == runs.len() { "\n" } else { ",\n" });
-        }
-        out.push_str("      ]\n");
-        out.push_str(if ai + 1 == arms.len() {
-            "    }\n"
-        } else {
-            "    },\n"
+    JsonWriter::document(|w| {
+        w.str_field("bench", "arff_pipeline");
+        w.str_field("corpus", corpus);
+        w.f64_field_display("scale", cfg.scale);
+        w.u64_field("seed", cfg.seed);
+        w.u64_field("reference_threads", s4.threads as u64);
+        w.f64_field("kmeans_input_speedup", s4.read_s / p4.read_s.max(1e-12), 4);
+        w.f64_field(
+            "tfidf_output_speedup",
+            s4.write_s / p4.write_s.max(1e-12),
+            4,
+        );
+        w.array_field("arms", |w| {
+            for (label, runs) in [("serial", serial), ("pipelined", pipelined)] {
+                w.object_elem(|w| {
+                    w.str_field("io", label);
+                    w.array_field("runs", |w| {
+                        for r in runs {
+                            w.raw_elem(&format!(
+                                "{{\"threads\": {}, \"tfidf_output_s\": {:.6}, \"kmeans_input_s\": {:.6}, \"total_s\": {:.6}}}",
+                                r.threads, r.write_s, r.read_s, r.total_s
+                            ));
+                        }
+                    });
+                });
+            }
         });
-    }
-    out.push_str("  ]\n}\n");
-    out
+    })
 }

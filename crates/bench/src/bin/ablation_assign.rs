@@ -9,13 +9,13 @@
 //! Emits `BENCH_kmeans_assign.json` into the output directory (the CI
 //! bench-smoke artifact) alongside the usual CSV report.
 
+use hpa_bench::json::JsonWriter;
 use hpa_bench::BenchConfig;
 use hpa_dict::DictKind;
 use hpa_exec::Exec;
 use hpa_kmeans::{AssignKernel, KMeans, KMeansConfig, KMeansModel};
 use hpa_metrics::{ExperimentReport, Stopwatch, Table};
 use hpa_tfidf::{TfIdf, TfIdfConfig};
-use std::fmt::Write as _;
 
 struct Arm {
     kernel: AssignKernel,
@@ -52,6 +52,7 @@ fn main() {
     merged.spans.clear();
     merged.counters.clear();
     merged.events.clear();
+    merged.predictions.clear();
 
     let mut arms: Vec<Arm> = Vec::new();
     for kernel in [
@@ -91,6 +92,7 @@ fn main() {
         merged.spans.extend(rec.spans.iter().cloned());
         merged.counters.extend(rec.counters.iter().cloned());
         merged.events.extend(rec.events.iter().cloned());
+        merged.predictions.extend(rec.predictions.iter().cloned());
         merged.threads = rec.threads.clone();
         arms.push(Arm {
             kernel,
@@ -181,42 +183,33 @@ fn render_json(cfg: &BenchConfig, corpus: &str, k: usize, arms: &[Arm]) -> Strin
         .iter()
         .find(|a| a.kernel == AssignKernel::BlockedPruned)
         .map_or(naive_assign, |a| a.assign_s);
-    let mut out = String::new();
-    out.push_str("{\n");
-    let _ = writeln!(out, "  \"bench\": \"kmeans_assign\",");
-    let _ = writeln!(out, "  \"corpus\": \"{corpus}\",");
-    let _ = writeln!(out, "  \"scale\": {},", cfg.scale);
-    let _ = writeln!(out, "  \"seed\": {},", cfg.seed);
-    let _ = writeln!(out, "  \"k\": {k},");
-    let _ = writeln!(out, "  \"threads\": 1,");
-    let _ = writeln!(
-        out,
-        "  \"assign_speedup_pruned_vs_naive\": {:.4},",
-        naive_assign / pruned_assign.max(1e-12)
-    );
-    out.push_str("  \"arms\": [\n");
-    for (i, arm) in arms.iter().enumerate() {
-        let s = arm.model.assign_stats;
-        out.push_str("    {\n");
-        let _ = writeln!(out, "      \"kernel\": \"{}\",", arm.kernel.label());
-        let _ = writeln!(out, "      \"wall_s\": {:.6},", arm.wall_s);
-        let _ = writeln!(out, "      \"assign_s\": {:.6},", arm.assign_s);
-        let _ = writeln!(out, "      \"iterations\": {},", arm.model.iterations);
-        let _ = writeln!(out, "      \"inertia\": {:.6},", arm.model.inertia);
-        let _ = writeln!(out, "      \"docs\": {},", s.docs);
-        let _ = writeln!(out, "      \"docs_pruned\": {},", s.docs_pruned);
-        let _ = writeln!(
-            out,
-            "      \"distances_computed\": {},",
-            s.distances_computed
+    JsonWriter::document(|w| {
+        w.str_field("bench", "kmeans_assign");
+        w.str_field("corpus", corpus);
+        w.f64_field_display("scale", cfg.scale);
+        w.u64_field("seed", cfg.seed);
+        w.u64_field("k", k as u64);
+        w.u64_field("threads", 1);
+        w.f64_field(
+            "assign_speedup_pruned_vs_naive",
+            naive_assign / pruned_assign.max(1e-12),
+            4,
         );
-        let _ = writeln!(out, "      \"distances_pruned\": {}", s.distances_pruned);
-        out.push_str(if i + 1 == arms.len() {
-            "    }\n"
-        } else {
-            "    },\n"
+        w.array_field("arms", |w| {
+            for arm in arms {
+                let s = arm.model.assign_stats;
+                w.object_elem(|w| {
+                    w.str_field("kernel", arm.kernel.label());
+                    w.f64_field("wall_s", arm.wall_s, 6);
+                    w.f64_field("assign_s", arm.assign_s, 6);
+                    w.u64_field("iterations", arm.model.iterations as u64);
+                    w.f64_field("inertia", arm.model.inertia, 6);
+                    w.u64_field("docs", s.docs);
+                    w.u64_field("docs_pruned", s.docs_pruned);
+                    w.u64_field("distances_computed", s.distances_computed);
+                    w.u64_field("distances_pruned", s.distances_pruned);
+                });
+            }
         });
-    }
-    out.push_str("  ]\n}\n");
-    out
+    })
 }

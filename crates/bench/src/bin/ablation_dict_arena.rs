@@ -12,13 +12,13 @@
 //! Emits `BENCH_dict_arena.json` into the output directory (the CI
 //! bench-smoke artifact) alongside the usual CSV report.
 
+use hpa_bench::json::JsonWriter;
 use hpa_bench::BenchConfig;
 use hpa_corpus::{Corpus, Tokenizer};
 use hpa_dict::{AnyDict, DictKind, DictPhase, Dictionary};
 use hpa_exec::Exec;
 use hpa_metrics::{ExperimentReport, Stopwatch, Table};
 use hpa_tfidf::{TfIdf, TfIdfConfig};
-use std::fmt::Write as _;
 
 const REPEATS: usize = 5;
 /// Noise tolerance for the "Auto never picks a measured-slower backend"
@@ -372,40 +372,27 @@ fn render_json(
     rehashes: u64,
     arena_bytes: u64,
 ) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    let _ = writeln!(out, "  \"bench\": \"dict_arena\",");
-    let _ = writeln!(out, "  \"corpus\": \"{corpus}\",");
-    let _ = writeln!(out, "  \"scale\": {},", cfg.scale);
-    let _ = writeln!(out, "  \"seed\": {},", cfg.seed);
-    let _ = writeln!(
-        out,
-        "  \"threads\": [{}],",
-        thread_counts
-            .iter()
-            .map(|t| t.to_string())
-            .collect::<Vec<_>>()
-            .join(", ")
-    );
-    let _ = writeln!(out, "  \"auto_tolerance\": {AUTO_TOLERANCE},");
-    let _ = writeln!(out, "  \"arena_merge_probe_steps\": {probe_steps},");
-    let _ = writeln!(out, "  \"arena_merge_rehashes\": {rehashes},");
-    let _ = writeln!(out, "  \"arena_merge_arena_bytes\": {arena_bytes},");
-    out.push_str("  \"phases\": [\n");
-    for (i, row) in rows.iter().enumerate() {
-        out.push_str("    {\n");
-        let _ = writeln!(out, "      \"phase\": \"{}\",", row.label);
-        let _ = writeln!(out, "      \"threads\": {},", row.threads);
-        for (j, &(label, _)) in ARMS.iter().enumerate() {
-            let _ = writeln!(out, "      \"{label}_s\": {:.6},", row.times[j]);
-        }
-        let _ = writeln!(out, "      \"auto_pick\": \"{}\"", row.auto_pick.label());
-        out.push_str(if i + 1 == rows.len() {
-            "    }\n"
-        } else {
-            "    },\n"
+    JsonWriter::document(|w| {
+        w.str_field("bench", "dict_arena");
+        w.str_field("corpus", corpus);
+        w.f64_field_display("scale", cfg.scale);
+        w.u64_field("seed", cfg.seed);
+        w.u64_array_field("threads", thread_counts.iter().map(|&t| t as u64));
+        w.f64_field_display("auto_tolerance", AUTO_TOLERANCE);
+        w.u64_field("arena_merge_probe_steps", probe_steps);
+        w.u64_field("arena_merge_rehashes", rehashes);
+        w.u64_field("arena_merge_arena_bytes", arena_bytes);
+        w.array_field("phases", |w| {
+            for row in rows {
+                w.object_elem(|w| {
+                    w.str_field("phase", row.label);
+                    w.u64_field("threads", row.threads as u64);
+                    for (j, &(label, _)) in ARMS.iter().enumerate() {
+                        w.f64_field(&format!("{label}_s"), row.times[j], 6);
+                    }
+                    w.str_field("auto_pick", row.auto_pick.label());
+                });
+            }
         });
-    }
-    out.push_str("  ]\n}\n");
-    out
+    })
 }

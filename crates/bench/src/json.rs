@@ -1,0 +1,192 @@
+//! Shared serializer for the `BENCH_*.json` CI artifacts.
+//!
+//! The three ablation smoke benches (`ablation_assign`,
+//! `ablation_arff_pipeline`, `ablation_dict_arena`) each emit a small
+//! JSON document that CI greps and `hpa-audit`'s `perf-gate` bin
+//! compares against committed baselines. They used to hand-format the
+//! braces independently; this module is the one place that knows the
+//! layout, so every artifact carries the same indentation, escaping,
+//! and — crucially — the same `schema_version` marker the gate keys on.
+//!
+//! [`JsonWriter`] is deliberately tiny: 2-space-indented objects and
+//! arrays, string/integer/fixed-precision-float fields, and raw spans
+//! for inline arrays. It is a writer, not a data model — the bench bins
+//! keep their flat row structs and stream them through.
+
+use std::fmt::Write as _;
+
+/// Version stamp embedded in every `BENCH_*.json`. Bump when a bench
+/// artifact's keys change meaning; `perf-gate` refuses to compare
+/// artifacts across versions (and warns when a pre-versioning baseline
+/// omits the field).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Minimal streaming JSON writer producing the benches' 2-space style.
+#[derive(Debug)]
+pub struct JsonWriter {
+    out: String,
+    depth: usize,
+    first: Vec<bool>,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl JsonWriter {
+    /// Render one top-level object; `build` adds its fields. The
+    /// `schema_version` field is written first, unconditionally.
+    pub fn document(build: impl FnOnce(&mut JsonWriter)) -> String {
+        let mut w = JsonWriter {
+            out: String::from("{\n"),
+            depth: 1,
+            first: vec![true],
+        };
+        w.u64_field("schema_version", SCHEMA_VERSION);
+        build(&mut w);
+        w.out.push_str("\n}\n");
+        w.out
+    }
+
+    fn pad(&mut self) {
+        for _ in 0..self.depth {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn next_entry(&mut self) {
+        if let Some(first) = self.first.last_mut() {
+            if *first {
+                *first = false;
+            } else {
+                self.out.push_str(",\n");
+            }
+        }
+        self.pad();
+    }
+
+    fn key(&mut self, k: &str) {
+        self.next_entry();
+        let _ = write!(self.out, "\"{}\": ", escape(k));
+    }
+
+    /// String field (escaped).
+    pub fn str_field(&mut self, k: &str, v: &str) {
+        self.key(k);
+        let _ = write!(self.out, "\"{}\"", escape(v));
+    }
+
+    /// Unsigned-integer field.
+    pub fn u64_field(&mut self, k: &str, v: u64) {
+        self.key(k);
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Boolean field.
+    pub fn bool_field(&mut self, k: &str, v: bool) {
+        self.key(k);
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Float field at a fixed precision (the benches' stable format).
+    pub fn f64_field(&mut self, k: &str, v: f64, prec: usize) {
+        self.key(k);
+        let _ = write!(self.out, "{v:.prec$}");
+    }
+
+    /// Float field in shortest-round-trip form (for values like `scale`
+    /// whose literal spelling matters more than a fixed width).
+    pub fn f64_field_display(&mut self, k: &str, v: f64) {
+        self.key(k);
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Inline array of unsigned integers, e.g. `"threads": [1, 4]`.
+    pub fn u64_array_field(&mut self, k: &str, vals: impl IntoIterator<Item = u64>) {
+        self.key(k);
+        let items: Vec<String> = vals.into_iter().map(|v| v.to_string()).collect();
+        let _ = write!(self.out, "[{}]", items.join(", "));
+    }
+
+    /// Array-valued field; `build` appends elements via
+    /// [`JsonWriter::object_elem`].
+    pub fn array_field(&mut self, k: &str, build: impl FnOnce(&mut JsonWriter)) {
+        self.key(k);
+        self.out.push_str("[\n");
+        self.depth += 1;
+        self.first.push(true);
+        build(self);
+        self.first.pop();
+        self.depth -= 1;
+        self.out.push('\n');
+        self.pad();
+        self.out.push(']');
+    }
+
+    /// Object element inside an array; `build` adds its fields.
+    pub fn object_elem(&mut self, build: impl FnOnce(&mut JsonWriter)) {
+        self.next_entry();
+        self.out.push_str("{\n");
+        self.depth += 1;
+        self.first.push(true);
+        build(self);
+        self.first.pop();
+        self.depth -= 1;
+        self.out.push('\n');
+        self.pad();
+        self.out.push('}');
+    }
+
+    /// One-line object element (the arff bin's compact run rows).
+    pub fn raw_elem(&mut self, raw: &str) {
+        self.next_entry();
+        self.out.push_str(raw);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_leads_with_schema_version_and_balances_braces() {
+        let doc = JsonWriter::document(|w| {
+            w.str_field("bench", "demo");
+            w.f64_field("speedup", 2.29639, 4);
+            w.u64_array_field("threads", [1u64, 4]);
+            w.array_field("arms", |w| {
+                w.object_elem(|w| {
+                    w.str_field("kernel", "naive");
+                    w.u64_field("docs", 10);
+                });
+                w.object_elem(|w| w.str_field("kernel", "blocked"));
+            });
+        });
+        assert!(doc.starts_with("{\n  \"schema_version\": 1,\n  \"bench\": \"demo\""));
+        assert!(doc.contains("\"speedup\": 2.2964"));
+        assert!(doc.contains("\"threads\": [1, 4]"));
+        assert!(doc.contains("      \"kernel\": \"naive\""));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert!(doc.ends_with("}\n"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let doc = JsonWriter::document(|w| w.str_field("name", "a\"b\\c\nd"));
+        assert!(doc.contains("\"a\\\"b\\\\c\\nd\""));
+    }
+}

@@ -31,6 +31,8 @@
 //! in Perfetto / `chrome://tracing`) plus a text summary at exit. The
 //! default path is `<out-dir>/trace.json`.
 
+pub mod json;
+
 use hpa_corpus::{Corpus, CorpusSpec};
 use hpa_exec::{CostMode, Exec, MachineModel};
 use hpa_metrics::ExperimentReport;

@@ -339,6 +339,16 @@ impl Workflow {
             };
             (out, cost)
         });
+        if hpa_trace::is_enabled() {
+            // Output bytes are only known after formatting, so the
+            // prediction is emitted inside the span it prices.
+            let cost = hpa_exec::TaskCost {
+                cpu_ns: (output.len() as f64 * 1.2) as u64,
+                mem_bytes: output.len() as u64 * 2,
+                ..Default::default()
+            };
+            hpa_trace::predict("phase", "output", ctx.exec.predict_serial_ns(&cost));
+        }
         timer.record("output", exec.now() - t0);
         drop(output_span);
         sample_heap();

@@ -363,32 +363,72 @@ fn contended_ns_per_byte(threads: usize) -> f64 {
     0.004 * threads.saturating_sub(1) as f64
 }
 
-/// Pick the cheapest backend for `phase` at `threads` from the analytic
-/// model, scoring CPU plus bandwidth-weighted memory traffic over the
-/// candidate set {map, u-map, arena}. The pre-sized table is not a
-/// candidate: `Auto` exists to avoid exactly the footprint it buys.
-pub fn auto_pick(phase: DictPhase, threads: usize) -> DictKind {
-    const CANDIDATES: [DictKind; 3] = [DictKind::BTree, DictKind::Hash, DictKind::Arena];
-    let bw = contended_ns_per_byte(threads);
-    let score = |c: OpCost| c.cpu_ns + c.mem_bytes * bw;
-    let phase_score = |k: DictKind| match phase {
+/// The backends [`auto_pick`] scores against each other. The pre-sized
+/// table is not a candidate: `Auto` exists to avoid exactly the
+/// footprint it buys.
+pub const AUTO_CANDIDATES: [DictKind; 3] = [DictKind::BTree, DictKind::Hash, DictKind::Arena];
+
+/// The decomposed (CPU, memory-traffic) cost of running `phase`'s
+/// representative workload on backend `kind` — the quantity
+/// [`auto_pick`] collapses into a scalar score. Exposed separately so a
+/// calibration pass can re-weight the CPU component against measured
+/// ledgers and check whether the drift would flip the selection.
+pub fn phase_op_cost(kind: DictKind, phase: DictPhase) -> OpCost {
+    let sum = |a: OpCost, scale: f64, b: OpCost| OpCost {
+        cpu_ns: a.cpu_ns + scale * b.cpu_ns,
+        mem_bytes: a.mem_bytes + scale * b.mem_bytes,
+    };
+    match phase {
         DictPhase::WordCount => {
             let hits = AUTO_DOC_TOKENS - AUTO_DOC_DISTINCT;
-            score(k.creation_cost())
-                + AUTO_DOC_DISTINCT * score(k.insert_cost(AUTO_DOC_DICT_LEN))
-                + hits * score(k.increment_cost(AUTO_DOC_DICT_LEN))
+            let acc = sum(
+                kind.creation_cost(),
+                AUTO_DOC_DISTINCT,
+                kind.insert_cost(AUTO_DOC_DICT_LEN),
+            );
+            sum(acc, hits, kind.increment_cost(AUTO_DOC_DICT_LEN))
         }
-        DictPhase::Merge => score(k.merge_step_cost(AUTO_GLOBAL_DICT_LEN)),
-        DictPhase::Lookup => score(k.lookup_cost(AUTO_VOCAB_LEN)),
-    };
-    let mut best = CANDIDATES[0];
-    let mut best_score = phase_score(best);
-    for k in &CANDIDATES[1..] {
-        let s = phase_score(*k);
+        DictPhase::Merge => kind.merge_step_cost(AUTO_GLOBAL_DICT_LEN),
+        DictPhase::Lookup => kind.lookup_cost(AUTO_VOCAB_LEN),
+    }
+}
+
+/// Every candidate's decomposed phase cost, in [`AUTO_CANDIDATES`]
+/// order. The scalar score `auto_pick` minimises is
+/// `cpu_ns + mem_bytes * contended_ns_per_byte(threads)`; returning the
+/// components lets callers rescore under recalibrated constants.
+pub fn auto_scores(phase: DictPhase, threads: usize) -> Vec<(DictKind, OpCost, f64)> {
+    let bw = contended_ns_per_byte(threads);
+    AUTO_CANDIDATES
+        .iter()
+        .map(|&k| {
+            let c = phase_op_cost(k, phase);
+            (k, c, c.cpu_ns + c.mem_bytes * bw)
+        })
+        .collect()
+}
+
+/// Pick the cheapest backend for `phase` at `threads` from the analytic
+/// model, scoring CPU plus bandwidth-weighted memory traffic over the
+/// candidate set {map, u-map, arena}. When tracing is enabled the
+/// winning score is emitted as a cost-model prediction so the run
+/// ledger records what the selection believed.
+pub fn auto_pick(phase: DictPhase, threads: usize) -> DictKind {
+    let scores = auto_scores(phase, threads);
+    let (mut best, _, mut best_score) = scores[0];
+    for &(k, _, s) in &scores[1..] {
         if s < best_score {
-            best = *k;
+            best = k;
             best_score = s;
         }
+    }
+    if hpa_trace::is_enabled() {
+        let name = match phase {
+            DictPhase::WordCount => "auto-wordcount",
+            DictPhase::Merge => "auto-merge",
+            DictPhase::Lookup => "auto-lookup",
+        };
+        hpa_trace::predict("dict", name, best_score as u64);
     }
     best
 }

@@ -418,6 +418,72 @@ impl Exec {
         items.into_iter().next()
     }
 
+    /// Predicted wall time of a serial section with declared `cost`,
+    /// nanoseconds on [`MachineModel::host`]. This prices the *measured*
+    /// execution the section's trace span will record (every mode runs
+    /// the body on the host), so operators emit it via
+    /// `hpa_trace::predict` next to the span for the conformance ledger
+    /// to join. Purely analytic: unannotated costs predict 0 rather
+    /// than falling back to measurement.
+    pub fn predict_serial_ns(&self, cost: &TaskCost) -> u64 {
+        MachineModel::host().serial_ns(cost, 0, CostMode::Analytic)
+    }
+
+    /// Predicted wall time of a parallel region over `0..n` with chunk
+    /// size `grain` (0 = automatic, same resolution as the `par_*`
+    /// loops), scheduled greedily onto this executor's thread count on
+    /// [`MachineModel::host`]. `cost(range)` declares each chunk's
+    /// demand exactly as passed to [`Exec::par_chunks`].
+    pub fn predict_region_ns<C>(&self, n: usize, grain: usize, cost: C) -> u64
+    where
+        C: Fn(Range<usize>) -> TaskCost,
+    {
+        if n == 0 {
+            return 0;
+        }
+        let machine = MachineModel::host();
+        let ranges = chunk_ranges(n, self.effective_grain(n, grain));
+        let mut tasks = Vec::with_capacity(ranges.len());
+        let mut totals = TaskCost::default();
+        for r in ranges {
+            let declared = cost(r);
+            totals += declared;
+            let cpu = machine.effective_cpu_ns(&declared, 0, CostMode::Analytic);
+            tasks.push((cpu, declared));
+        }
+        sim::schedule_region(&machine, self.threads(), &tasks, &totals).elapsed_ns
+    }
+
+    /// Predicted wall time of a pairwise tree reduction of `items`
+    /// partials where every merge costs `merge_cost` — the shape of
+    /// [`Exec::par_tree_reduce`]: `ceil(log2(items))` rounds, each a
+    /// parallel region of disjoint pair merges.
+    pub fn predict_tree_reduce_ns(&self, mut items: usize, merge_cost: TaskCost) -> u64 {
+        let mut total = 0u64;
+        while items > 1 {
+            let pairs = items / 2;
+            total += self.predict_region_ns(pairs, 1, |r| {
+                let mut c = TaskCost::default();
+                for _ in r {
+                    c += merge_cost;
+                }
+                c
+            });
+            items = pairs + items % 2;
+        }
+        total
+    }
+
+    /// Number of chunks the `par_*` loops split `0..n` into for `grain`
+    /// (0 = automatic) — the partial count feeding a tree reduction.
+    pub fn chunks_for(&self, n: usize, grain: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            n.div_ceil(self.effective_grain(n, grain))
+        }
+    }
+
     fn effective_grain(&self, n: usize, grain: usize) -> usize {
         if grain > 0 {
             return grain;
@@ -473,6 +539,60 @@ mod tests {
             Exec::simulated(4, MachineModel::frictionless()),
             Exec::simulated_with(4, MachineModel::frictionless(), CostMode::Analytic),
         ]
+    }
+
+    #[test]
+    fn predict_serial_prices_declared_cpu_without_derating() {
+        // host() drops the 2016-testbed CPU scale: 1µs declared = 1µs
+        // predicted, in every mode (predictions price the host run).
+        for exec in all_execs() {
+            assert_eq!(
+                exec.predict_serial_ns(&TaskCost::cpu(1_000)),
+                1_000,
+                "{exec:?}"
+            );
+            assert_eq!(exec.predict_serial_ns(&TaskCost::default()), 0, "{exec:?}");
+        }
+    }
+
+    #[test]
+    fn predict_region_respects_parallelism_and_spawn_overhead() {
+        let spawn = MachineModel::host().spawn_overhead_ns;
+        let seq = Exec::sequential();
+        let par = Exec::pool(4);
+        // 8 chunks x 1ms: sequential executes all on one core, the
+        // 4-thread pool two rounds of four.
+        let chunk = |_: Range<usize>| TaskCost::cpu(1_000_000);
+        let t1 = seq.predict_region_ns(8, 1, chunk);
+        let t4 = par.predict_region_ns(8, 1, chunk);
+        assert_eq!(t1, 8 * (1_000_000 + spawn));
+        assert_eq!(t4, 2 * (1_000_000 + spawn));
+        assert_eq!(seq.predict_region_ns(0, 1, chunk), 0);
+    }
+
+    #[test]
+    fn predict_tree_reduce_charges_log_rounds() {
+        let spawn = MachineModel::host().spawn_overhead_ns;
+        let seq = Exec::sequential();
+        // 4 partials -> rounds of 2 then 1 merges, serial: 3 merges.
+        let t = seq.predict_tree_reduce_ns(4, TaskCost::cpu(10_000));
+        assert_eq!(t, 3 * (10_000 + spawn));
+        assert_eq!(seq.predict_tree_reduce_ns(1, TaskCost::cpu(10_000)), 0);
+        assert_eq!(seq.predict_tree_reduce_ns(0, TaskCost::cpu(10_000)), 0);
+    }
+
+    #[test]
+    fn chunks_for_matches_chunk_ranges() {
+        for exec in all_execs() {
+            for (n, grain) in [(0usize, 0usize), (1, 0), (1000, 37), (1000, 0), (5, 100)] {
+                let expect = if n == 0 {
+                    0
+                } else {
+                    chunk_ranges(n, exec.effective_grain(n, grain)).len()
+                };
+                assert_eq!(exec.chunks_for(n, grain), expect, "n={n} grain={grain}");
+            }
+        }
     }
 
     #[test]

@@ -86,6 +86,20 @@ impl MachineModel {
         }
     }
 
+    /// The machine cost-model *predictions* are priced on: the paper-era
+    /// testbed of [`MachineModel::default`] minus its CPU derating. The
+    /// workload cost models estimate tight modern implementations and
+    /// `analytic_cpu_scale` exists only to slow them down to the 2016
+    /// C++ testbed the simulator reproduces; predictions are instead
+    /// joined against trace spans *measured on this host* (hpa-audit's
+    /// run ledger), so the derating must not apply.
+    pub fn host() -> Self {
+        MachineModel {
+            analytic_cpu_scale: 1.0,
+            ..MachineModel::default()
+        }
+    }
+
     /// Duration of a *serial* section with the given cost on this machine:
     /// CPU and single-core memory traffic overlap (roofline), storage I/O
     /// adds transfer time plus per-op latency.

@@ -288,6 +288,51 @@ impl KMeans {
 
                 // --- Parallel assignment + per-chunk partial centroid
                 // sums, through the selected kernel.
+                let assign_cost = |chunk_idx_range: std::ops::Range<usize>| {
+                    let mut total = TaskCost::default();
+                    for ci in chunk_idx_range.clone() {
+                        let range = ranges_ref[ci].clone();
+                        total += match kernel {
+                            AssignKernel::Naive => cost::assign_chunk_cost(vectors, range, k),
+                            AssignKernel::Blocked => {
+                                cost::assign_chunk_cost_blocked(vectors, range, k)
+                            }
+                            AssignKernel::BlockedPruned => {
+                                // Predict per-document skips from the
+                                // pre-assignment bounds (conservative:
+                                // the kernel can only skip more).
+                                let state = chunk_slots_ref[ci].lock();
+                                let docs = range.len() as u64;
+                                let mut nnz_full = 0u64;
+                                let mut nnz_pruned = 0u64;
+                                for (local, i) in range.enumerate() {
+                                    let nnz = vectors[i].nnz() as u64;
+                                    if assign::predicts_prune(
+                                        state.ub[local],
+                                        state.lb[local],
+                                        state.assign[local] as usize,
+                                        movement_ref,
+                                    ) {
+                                        nnz_pruned += nnz;
+                                    } else {
+                                        nnz_full += nnz;
+                                    }
+                                }
+                                cost::assign_cost_pruned(nnz_full, nnz_pruned, docs, k)
+                            }
+                        };
+                    }
+                    total
+                };
+                if hpa_trace::is_enabled() {
+                    // Same kernel-matched cost closure the simulator
+                    // consumes, priced per iteration for the ledger.
+                    hpa_trace::predict(
+                        "kmeans",
+                        "assign",
+                        exec.predict_region_ns(ranges.len(), 1, assign_cost),
+                    );
+                }
                 let assign_span = hpa_trace::span!("kmeans", "assign", iter as u64);
                 exec.par_chunks(
                     ranges.len(),
@@ -313,42 +358,7 @@ impl KMeans {
                             );
                         }
                     },
-                    |chunk_idx_range| {
-                        let mut total = TaskCost::default();
-                        for ci in chunk_idx_range.clone() {
-                            let range = ranges_ref[ci].clone();
-                            total += match kernel {
-                                AssignKernel::Naive => cost::assign_chunk_cost(vectors, range, k),
-                                AssignKernel::Blocked => {
-                                    cost::assign_chunk_cost_blocked(vectors, range, k)
-                                }
-                                AssignKernel::BlockedPruned => {
-                                    // Predict per-document skips from the
-                                    // pre-assignment bounds (conservative:
-                                    // the kernel can only skip more).
-                                    let state = chunk_slots_ref[ci].lock();
-                                    let docs = range.len() as u64;
-                                    let mut nnz_full = 0u64;
-                                    let mut nnz_pruned = 0u64;
-                                    for (local, i) in range.enumerate() {
-                                        let nnz = vectors[i].nnz() as u64;
-                                        if assign::predicts_prune(
-                                            state.ub[local],
-                                            state.lb[local],
-                                            state.assign[local] as usize,
-                                            movement_ref,
-                                        ) {
-                                            nnz_pruned += nnz;
-                                        } else {
-                                            nnz_full += nnz;
-                                        }
-                                    }
-                                    cost::assign_cost_pruned(nnz_full, nnz_pruned, docs, k)
-                                }
-                            };
-                        }
-                        total
-                    },
+                    assign_cost,
                 );
                 drop(assign_span);
 
@@ -371,6 +381,21 @@ impl KMeans {
                 // (pairwise rounds, like Cilk reducer merges), leaving
                 // the total in partials[0]. Allocation-free: the pairing
                 // schedule is precomputed.
+                if hpa_trace::is_enabled() {
+                    let ns: u64 = merge_rounds
+                        .iter()
+                        .map(|(_, pair_lhs)| {
+                            exec.predict_region_ns(pair_lhs.len(), 1, |pair_range| {
+                                let mut total = TaskCost::default();
+                                for _ in pair_range {
+                                    total += cost::reduce_cost(k, dim);
+                                }
+                                total
+                            })
+                        })
+                        .sum();
+                    hpa_trace::predict("kmeans", "merge", ns);
+                }
                 let merge_span = hpa_trace::span!("kmeans", "merge", iter as u64);
                 for (stride, pair_lhs) in &merge_rounds {
                     let stride = *stride;
@@ -400,6 +425,13 @@ impl KMeans {
 
                 // --- Serial centroid recompute; records per-centroid
                 // movement deltas for the next iteration's bounds.
+                if hpa_trace::is_enabled() {
+                    hpa_trace::predict(
+                        "kmeans",
+                        "recompute",
+                        exec.predict_serial_ns(&cost::recompute_cost(k, dim)),
+                    );
+                }
                 let _recompute_span = hpa_trace::span!("kmeans", "recompute", iter as u64);
                 let new_inertia = partial.cost;
                 let max_movement = {

@@ -206,6 +206,22 @@ pub fn arff_drain_cost(bytes: u64) -> TaskCost {
     }
 }
 
+/// Pre-run estimate of the *serial* ARFF writer's cost. `write_arff`
+/// prices itself post-hoc from its [`hpa_io::ByteCounter`] (the byte
+/// count is only known after formatting), so its conformance prediction
+/// needs this up-front estimate instead: header + rows at the counter's
+/// write rate, byte volume estimated from nnz exactly as the chunked
+/// format/drain estimates do.
+pub fn arff_write_estimate(rows: &[hpa_sparse::SparseVec], dim: usize) -> TaskCost {
+    let nnz: u64 = rows.iter().map(|r| r.nnz() as u64).sum();
+    let bytes = nnz * ARFF_BYTES_PER_ENTRY + rows.len() as u64 * 3 + dim as u64 * 25;
+    TaskCost {
+        cpu_ns: (bytes as f64 * hpa_io::counter::WRITE_CPU_NS_PER_BYTE) as u64,
+        mem_bytes: bytes * 2,
+        ..Default::default()
+    }
+}
+
 /// Cost of parsing the ARFF header (serial prefix of the parallel read).
 pub fn arff_header_cost(dim: usize) -> TaskCost {
     TaskCost {

@@ -191,6 +191,19 @@ impl TfIdf {
         };
         let charge_io = self.config.charge_input_io;
         let hash_once = kind.uses_cached_hash() || df_kind.uses_cached_hash();
+        if hpa_trace::is_enabled() {
+            // Price the fold region plus the tree-reduce merge tail with
+            // the same cost closures the simulator consumes, so the
+            // conformance ledger checks exactly what analytic runs use.
+            let fold_ns = exec.predict_region_ns(n, df_grain, |range| {
+                cost::wc_chunk_cost(kind, df_kind, docs, range, charge_io)
+            });
+            let merge_ns = exec.predict_tree_reduce_ns(
+                exec.chunks_for(n, df_grain),
+                cost::df_merge_cost(df_kind, n, exec.threads()),
+            );
+            hpa_trace::predict("tfidf", "count-words", fold_ns + merge_ns);
+        }
         let df = exec.par_fold_reduce(
             n,
             df_grain,
@@ -256,10 +269,13 @@ impl TfIdf {
             .resolve(DictPhase::Lookup, exec.threads());
         let max_df = (self.config.max_df_fraction * counts.num_docs() as f64).ceil() as u64;
         let min_df = self.config.min_df.max(1) as u64;
-        exec.serial(
-            cost::vocab_build_cost(counts.df_kind, index_kind, counts.df.len()),
-            || Vocab::from_df_dict_pruned(index_kind, &counts.df, min_df, max_df),
-        )
+        let cost = cost::vocab_build_cost(counts.df_kind, index_kind, counts.df.len());
+        if hpa_trace::is_enabled() {
+            hpa_trace::predict("tfidf", "build-vocab", exec.predict_serial_ns(&cost));
+        }
+        exec.serial(cost, || {
+            Vocab::from_df_dict_pruned(index_kind, &counts.df, min_df, max_df)
+        })
     }
 
     /// Phase 2a ("transform"): parallel conversion of term counts into
@@ -275,6 +291,12 @@ impl TfIdf {
         let lookup_kind = vocab.kind();
         let slots: Vec<Mutex<Option<SparseVec>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let per_doc = &counts.per_doc;
+        if hpa_trace::is_enabled() {
+            let ns = exec.predict_region_ns(n, self.config.grain, |range| {
+                cost::transform_chunk_cost(iter_kind, lookup_kind, per_doc, vocab.len(), range)
+            });
+            hpa_trace::predict("tfidf", "transform", ns);
+        }
         exec.par_for_costed(
             n,
             self.config.grain,
@@ -328,6 +350,10 @@ fn arff_header(model: &TfIdfModel) -> ArffHeader {
 /// Sequential by format design; charged to the simulated storage device.
 pub fn write_arff<W: Write>(exec: &Exec, model: &TfIdfModel, out: W) -> Result<W, ArffError> {
     let _span = hpa_trace::span!("tfidf", "write-arff", model.vectors.len() as u64);
+    if hpa_trace::is_enabled() {
+        let est = cost::arff_write_estimate(&model.vectors, model.vocab.len());
+        hpa_trace::predict("tfidf", "write-arff", exec.predict_serial_ns(&est));
+    }
     exec.serial_costed(|| {
         let mut writer = ArffWriter::new(ByteCounter::new(out));
         let written = (|| {
@@ -384,6 +410,23 @@ pub fn write_arff_overlapped<W: Write + Send>(
     // A handful of rows per chunk keeps every worker busy; the exact
     // grain only shifts buffer sizes, not output bytes.
     let grain = n.div_ceil(exec.threads() * 4).max(1);
+
+    if hpa_trace::is_enabled() {
+        // Overlapped schedule: serial header, then the parallel format
+        // region hides (or is hidden by) the single ordered drain.
+        let header_ns = exec.predict_serial_ns(&cost::arff_header_cost(dim));
+        let format_ns = exec.predict_region_ns(n, grain, |range| {
+            cost::arff_format_chunk_cost(&model.vectors[range])
+        });
+        let nnz: u64 = model.vectors.iter().map(|v| v.nnz() as u64).sum();
+        let body_bytes = nnz * cost::ARFF_BYTES_PER_ENTRY + n as u64 * 3;
+        let drain_ns = exec.predict_serial_ns(&cost::arff_drain_cost(body_bytes));
+        hpa_trace::predict(
+            "tfidf",
+            "write-arff-overlapped",
+            header_ns + format_ns.max(drain_ns),
+        );
+    }
 
     let mut outcome: Option<(ByteCounter<W>, Option<ArffError>)> = None;
     let (tx, rx) = hpa_io::channel::bounded::<Vec<u8>>(4);
@@ -520,6 +563,19 @@ pub fn read_arff_parallel<R: BufRead>(
         pos = end;
     }
     let nchunks = bounds.len() - 1;
+
+    if hpa_trace::is_enabled() {
+        // The span covers header + slurp + parallel parse; the byte
+        // volume is only known post-slurp, so the prediction lands here,
+        // inside the span it prices.
+        let ns = exec.predict_serial_ns(&cost::arff_header_cost(dim))
+            + exec.predict_serial_ns(&cost::arff_slurp_cost(data.len() as u64))
+            + exec.predict_region_ns(nchunks, 1, |chunks| {
+                let bytes: u64 = chunks.map(|ci| (bounds[ci + 1] - bounds[ci]) as u64).sum();
+                cost::arff_parse_chunk_cost(bytes)
+            });
+        hpa_trace::predict("tfidf", "read-arff-parallel", ns);
+    }
 
     let slots: Vec<Mutex<Option<Vec<SparseVec>>>> =
         (0..nchunks).map(|_| Mutex::new(None)).collect();

@@ -115,6 +115,11 @@ impl Histogram {
         self.quantile(0.50)
     }
 
+    /// 95th percentile shorthand.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
     /// 99th percentile shorthand.
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
@@ -180,11 +185,14 @@ mod tests {
             h.record(1_000_000);
         }
         let p50 = h.p50();
+        let p95 = h.p95();
         let p99 = h.p99();
         // Power-of-two buckets: estimates are within 2x of the truth.
         assert!((512..=2048).contains(&p50), "p50 {p50}");
+        assert!((524_288..=1_048_576 * 2).contains(&p95), "p95 {p95}");
         assert!((524_288..=1_048_576 * 2).contains(&p99), "p99 {p99}");
         assert!(p50 < p99);
+        assert!(p95 <= p99);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //!
 //! * [`Span`] / [`span!`] — RAII spans recorded into per-thread buffers;
 //! * [`counter`] / [`instant`] — counter samples and point events;
+//! * [`predict`] — cost-model predictions, recorded next to the
+//!   measured span they price so `hpa-audit` can join the two;
 //! * [`Histogram`] — fixed-bucket (power-of-two) latency histograms;
 //! * [`Recording::to_chrome_json`] — Chrome trace-event JSON, loadable in
 //!   Perfetto or `chrome://tracing`;
@@ -91,11 +93,31 @@ pub struct EventRec {
     pub tid: u32,
 }
 
+/// One cost-model prediction. Emitted by an operator immediately before
+/// (or inside) the measured span it prices, under the *same* `(cat,
+/// name)` pair, so the k-th prediction of a pair corresponds to the
+/// k-th span of that pair in time order — the join rule `hpa-audit`'s
+/// run ledger uses to compute predicted-vs-measured error ratios.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredictRec {
+    /// Category of the span being priced.
+    pub cat: &'static str,
+    /// Name of the span being priced.
+    pub name: &'static str,
+    /// Emission time, nanoseconds since the trace epoch.
+    pub ts_ns: u64,
+    /// Predicted duration of the priced span, nanoseconds.
+    pub predicted_ns: u64,
+    /// Recording thread.
+    pub tid: u32,
+}
+
 #[derive(Debug, Default)]
 struct ThreadBuf {
     spans: Vec<SpanRec>,
     counters: Vec<CounterRec>,
     events: Vec<EventRec>,
+    predictions: Vec<PredictRec>,
 }
 
 struct ThreadEntry {
@@ -236,6 +258,33 @@ pub fn instant(cat: &'static str, name: &'static str) {
     });
 }
 
+/// Record one cost-model prediction for the next span of `(cat, name)`.
+/// No-op when tracing is disabled: like [`counter`], the disabled path
+/// is one relaxed atomic load — no timestamp, no lock, no allocation —
+/// so operators may call this unconditionally from hot paths *after*
+/// checking [`is_enabled`] around any expensive cost computation.
+#[inline]
+pub fn predict(cat: &'static str, name: &'static str, predicted_ns: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let ts_ns = now_ns();
+    with_local(|entry| {
+        entry
+            .buf
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .predictions
+            .push(PredictRec {
+                cat,
+                name,
+                ts_ns,
+                predicted_ns,
+                tid: entry.tid,
+            });
+    });
+}
+
 /// An RAII span: created by [`Span::enter`] (or the [`span!`] macro),
 /// recorded when dropped. When tracing is disabled at entry the guard is
 /// inert — no timestamp is taken and nothing is recorded at drop.
@@ -333,6 +382,8 @@ pub struct Recording {
     pub counters: Vec<CounterRec>,
     /// Instant events.
     pub events: Vec<EventRec>,
+    /// Cost-model predictions.
+    pub predictions: Vec<PredictRec>,
     /// `(tid, thread name)` for every thread that ever recorded.
     pub threads: Vec<(u32, String)>,
 }
@@ -340,12 +391,20 @@ pub struct Recording {
 impl Recording {
     /// True when nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.spans.is_empty() && self.counters.is_empty() && self.events.is_empty()
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.events.is_empty()
+            && self.predictions.is_empty()
     }
 
     /// Spans of one category.
     pub fn spans_in<'a>(&'a self, cat: &'a str) -> impl Iterator<Item = &'a SpanRec> + 'a {
         self.spans.iter().filter(move |s| s.cat == cat)
+    }
+
+    /// Predictions of one category.
+    pub fn predictions_in<'a>(&'a self, cat: &'a str) -> impl Iterator<Item = &'a PredictRec> + 'a {
+        self.predictions.iter().filter(move |p| p.cat == cat)
     }
 
     /// Latency histogram of all span durations in one category.
@@ -373,10 +432,12 @@ pub fn take() -> Recording {
         rec.spans.append(&mut buf.spans);
         rec.counters.append(&mut buf.counters);
         rec.events.append(&mut buf.events);
+        rec.predictions.append(&mut buf.predictions);
     }
     rec.spans.sort_by_key(|s| (s.start_ns, s.tid));
     rec.counters.sort_by_key(|c| (c.ts_ns, c.tid));
     rec.events.sort_by_key(|e| (e.ts_ns, e.tid));
+    rec.predictions.sort_by_key(|p| (p.ts_ns, p.tid));
     rec
 }
 
@@ -420,11 +481,81 @@ mod tests {
             let _s = span!("test-disabled", "ignored");
             counter("test-disabled", "c", 1);
             instant("test-disabled", "e");
+            predict("test-disabled", "p", 42);
         }
         let rec = take();
         assert!(rec.spans_in("test-disabled").next().is_none());
         assert!(!rec.counters.iter().any(|c| c.cat == "test-disabled"));
         assert!(!rec.events.iter().any(|e| e.cat == "test-disabled"));
+        assert!(rec.predictions_in("test-disabled").next().is_none());
+    }
+
+    #[test]
+    fn predictions_record_and_drain_in_order() {
+        let _g = serial();
+        enable();
+        predict("test-predict", "phase", 1_000);
+        {
+            let _s = span!("test-predict", "phase");
+        }
+        predict("test-predict", "phase", 2_000);
+        {
+            let _s = span!("test-predict", "phase");
+        }
+        let rec = take();
+        let preds: Vec<u64> = rec
+            .predictions_in("test-predict")
+            .map(|p| p.predicted_ns)
+            .collect();
+        assert_eq!(preds, vec![1_000, 2_000], "time-ordered predictions");
+        assert_eq!(rec.spans_in("test-predict").count(), 2);
+        let rec2 = take();
+        assert!(
+            rec2.predictions_in("test-predict").next().is_none(),
+            "take must drain predictions"
+        );
+        disable();
+    }
+
+    #[test]
+    fn concurrent_emitters_conserve_prediction_records() {
+        let _g = serial();
+        enable();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::Builder::new()
+                    .name(format!("predict-test-{i}"))
+                    .spawn(|| {
+                        for v in 0..50u64 {
+                            predict("test-predict-mt", "work", v);
+                            let _s = span!("test-predict-mt", "work");
+                        }
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let rec = take();
+        assert_eq!(rec.predictions_in("test-predict-mt").count(), 200);
+        assert_eq!(rec.spans_in("test-predict-mt").count(), 200);
+        // Per-thread prediction streams stay in emission order after the
+        // global sort, so the per-pair index join remains well-defined.
+        let tids: std::collections::HashSet<u32> = rec
+            .predictions_in("test-predict-mt")
+            .map(|p| p.tid)
+            .collect();
+        assert_eq!(tids.len(), 4);
+        for tid in tids {
+            let vals: Vec<u64> = rec
+                .predictions_in("test-predict-mt")
+                .filter(|p| p.tid == tid)
+                .map(|p| p.predicted_ns)
+                .collect();
+            assert_eq!(vals, (0..50).collect::<Vec<u64>>());
+        }
+        disable();
     }
 
     #[test]

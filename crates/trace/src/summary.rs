@@ -29,7 +29,9 @@ impl Recording {
 
         let mut digest = Table::new(
             "trace summary",
-            &["cat", "name", "count", "total", "mean", "p50", "p99", "max"],
+            &[
+                "cat", "name", "count", "total", "mean", "p50", "p95", "p99", "max",
+            ],
         );
         for ((cat, name), h) in &groups {
             digest.row(&[
@@ -39,12 +41,40 @@ impl Recording {
                 ns(h.sum()),
                 ns(h.mean() as u64),
                 ns(h.p50()),
+                ns(h.p95()),
                 ns(h.p99()),
                 ns(h.max()),
             ]);
         }
 
         let mut out = digest.to_text();
+
+        if !self.predictions.is_empty() {
+            // Predicted vs measured totals per pair; the full per-pair
+            // join (error ratios, conformance flags) lives in hpa-audit.
+            let mut by_pred: BTreeMap<(&str, &str), (u64, u64)> = BTreeMap::new();
+            for p in &self.predictions {
+                let e = by_pred.entry((p.cat, p.name)).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += p.predicted_ns;
+            }
+            let mut preds = Table::new(
+                "cost-model predictions",
+                &["cat", "name", "count", "predicted", "measured"],
+            );
+            for ((cat, name), (n, total)) in &by_pred {
+                let measured = groups.get(&(*cat, *name)).map_or(0, Histogram::sum);
+                preds.row(&[
+                    cat.to_string(),
+                    name.to_string(),
+                    n.to_string(),
+                    ns(*total),
+                    ns(measured),
+                ]);
+            }
+            out.push('\n');
+            out.push_str(&preds.to_text());
+        }
 
         if top_n > 0 && !self.spans.is_empty() {
             let mut longest: Vec<&crate::SpanRec> = self.spans.iter().collect();
@@ -171,5 +201,36 @@ mod tests {
     fn empty_recording_renders_without_panic() {
         let s = Recording::default().summary(5);
         assert!(s.contains("trace summary"));
+    }
+
+    #[test]
+    fn summary_has_percentile_columns() {
+        let s = rec().summary(0);
+        let header = s
+            .lines()
+            .find(|l| l.contains("p50"))
+            .expect("digest header");
+        assert!(header.contains("p95"), "p95 column missing: {header}");
+        assert!(header.contains("p99"));
+    }
+
+    #[test]
+    fn summary_reports_predictions_next_to_measurements() {
+        let mut r = rec();
+        r.predictions.push(crate::PredictRec {
+            cat: "phase",
+            name: "kmeans",
+            ts_ns: 0,
+            predicted_ns: 1_400_000,
+            tid: 0,
+        });
+        let s = r.summary(0);
+        let p = s
+            .split("cost-model predictions")
+            .nth(1)
+            .expect("predictions table");
+        assert!(p.contains("kmeans"));
+        assert!(p.contains("0.001")); // 1.4ms predicted, 2ms measured
+        assert!(p.contains("0.002"));
     }
 }

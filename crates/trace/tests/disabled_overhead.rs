@@ -22,6 +22,7 @@ fn disabled_tracing_allocates_nothing() {
         s.set_arg(1);
         hpa_trace::counter("t", "warmup", 1);
         hpa_trace::instant("t", "warmup");
+        hpa_trace::predict("t", "warmup", 1);
         let _m = hpa_trace::span!("t", "warmup2", 2);
     }
 
@@ -31,6 +32,7 @@ fn disabled_tracing_allocates_nothing() {
         span.set_arg(i);
         hpa_trace::counter("bench", "progress", i);
         hpa_trace::instant("bench", "tick");
+        hpa_trace::predict("bench", "work", i);
         let _nested = hpa_trace::span!("bench", "inner", i);
     }
     let allocs = gauge.allocs_in_region();
