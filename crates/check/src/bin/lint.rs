@@ -1,10 +1,11 @@
-//! `hpa-lint` — static audit of the workspace's unsafety and atomics
-//! discipline. Zero dependencies; line-oriented heuristics, documented
-//! per rule. Run from the workspace root (CI does):
+//! `hpa-lint` — static audit of the workspace's unsafety, atomics, and
+//! tracing discipline. Zero dependencies; line-oriented heuristics,
+//! documented per rule. Run from the workspace root (CI does):
 //!
 //! ```text
 //! cargo run -p hpa-check --bin lint              # audit, exit 1 on findings
-//! cargo run -p hpa-check --bin lint -- --fix-missing-safety
+//! cargo run -p hpa-check --bin lint -- --fix-missing-safety  # patch stubs
+//! cargo run -p hpa-check --bin lint -- --json    # machine-readable output
 //! cargo run -p hpa-check --bin lint -- /path/to/workspace
 //! ```
 //!
@@ -25,12 +26,28 @@
 //!   carried through the atomic); everywhere else acquire/release or
 //!   stronger is required, which keeps the model checker's sequentially
 //!   consistent exploration a faithful over-approximation.
+//! * **R5 span-predict** — every `hpa_trace::predict(cat, name, ..)` call
+//!   site with literal `(cat, name)` arguments must have a span opened
+//!   with the same two literals somewhere in the same file, so the run
+//!   ledger (`hpa-audit`) can join the prediction to a measurement. Calls
+//!   with a non-literal name are flagged unless the file is allowlisted
+//!   as intentionally span-free (advisory predictions).
+//! * **R6 ordering-audit** — every non-`Relaxed` atomic ordering
+//!   (`Acquire`/`Release`/`AcqRel`/`SeqCst`) must carry an `ORDERING:`
+//!   justification comment, placed like R1's `SAFETY:` marker. This is
+//!   R4's complement: R4 audits the weak orderings, R6 makes the strong
+//!   ones explain what they pair with.
 //!
 //! Heuristic limits, accepted deliberately: scanning is per-line after
 //! stripping `//` comments (string literals containing `//` may confuse
 //! it), and everything from a `#[cfg(test)]` line to end-of-file is
-//! treated as test code for R4 (test modules sit at file end throughout
-//! this workspace). R1 applies to test code too.
+//! treated as test code for R4/R5/R6 (test modules sit at file end
+//! throughout this workspace). R1 applies to test code too.
+//!
+//! `--fix-missing-safety` rewrites files in place, inserting a stub
+//! `SAFETY:`/`ORDERING:` comment (marked `TODO(hpa-lint)`) above each R1
+//! and R6 finding, then rescans; the operation is idempotent because the
+//! stub satisfies the rule that produced it.
 
 use std::fmt;
 use std::fs;
@@ -56,7 +73,21 @@ const RELAXED_FILE_ALLOWLIST: &[&str] = &[
     "crates/trace/src/lib.rs",     // enabled flag + tid allocator
     "crates/dict/src/sharded.rs",  // per-shard stat counters
     "crates/check/src/sched.rs",   // ObjCell ids, guarded by the scheduler lock
+    "crates/check/src/sync.rs",    // shim edge-classification matches, not accesses
     "crates/core/src/lib.rs",      // discrete-run id allocator (uniqueness only)
+];
+
+/// Files exempt from R6's per-site `ORDERING:` comments (the shim names
+/// every ordering while *classifying* the caller's argument, and its two
+/// real accesses are model-internal snapshots documented in-file).
+const ORDERING_FILE_ALLOWLIST: &[&str] = &["crates/check/src/sync.rs"];
+
+/// Files allowed to call `hpa_trace::predict` with a non-literal name
+/// (R5): advisory predictions that are not paired with a span by design.
+const PREDICT_DYNAMIC_ALLOWLIST: &[&str] = &[
+    // auto_pick logs the scores of *candidate* backends; only the chosen
+    // backend's phase gets a span, under its own literal name.
+    "crates/dict/src/costmodel.rs",
 ];
 
 // ---- needle construction ------------------------------------------------
@@ -90,6 +121,36 @@ fn banned_sync_items() -> Vec<String> {
         ["mp", "sc"].concat(),
         ["Bar", "rier"].concat(),
         ["Once", "Lock"].concat(),
+    ]
+}
+
+/// The prediction call R5 pairs with spans.
+fn predict_call() -> String {
+    ["hpa_", "trace::", "pre", "dict("].concat()
+}
+
+/// Span-opening forms R5 accepts as the measurement side.
+fn span_openers() -> Vec<String> {
+    vec![
+        ["sp", "an!("].concat(),
+        ["Span::", "ent", "er("].concat(),
+        ["Span::", "ent", "er_with("].concat(),
+    ]
+}
+
+/// The justification marker R6 requires (with trailing colon).
+fn ordering_marker() -> String {
+    ["ORDER", "ING:"].concat()
+}
+
+/// The non-`Relaxed` orderings R6 audits, as `Ordering::`-qualified words.
+fn strong_orderings() -> Vec<String> {
+    let q = "Ordering::";
+    vec![
+        [q, "Acq", "uire"].concat(),
+        [q, "Rel", "ease"].concat(),
+        [q, "Acq", "Rel"].concat(),
+        [q, "Seq", "Cst"].concat(),
     ]
 }
 
@@ -146,10 +207,10 @@ fn is_annotation_line(trimmed: &str) -> bool {
     trimmed.starts_with("//") || trimmed.starts_with("#[") || trimmed.starts_with("#!")
 }
 
-/// R1: the `unsafe` at `idx` is covered if its own line or the contiguous
-/// comment/attribute block directly above mentions `SAFETY`.
-fn safety_covered(lines: &[&str], idx: usize) -> bool {
-    if lines[idx].contains("SAFETY") {
+/// The line at `idx` is covered if it, or the contiguous
+/// comment/attribute block directly above it, mentions `marker`.
+fn marker_covered(lines: &[&str], idx: usize, marker: &str) -> bool {
+    if lines[idx].contains(marker) {
         return true;
     }
     let mut i = idx;
@@ -159,14 +220,19 @@ fn safety_covered(lines: &[&str], idx: usize) -> bool {
         if !is_annotation_line(trimmed) {
             return false;
         }
-        if trimmed.contains("SAFETY") {
+        if trimmed.contains(marker) {
             return true;
         }
     }
     false
 }
 
-/// Scan one file's contents against R1/R3/R4. `rel` is the
+/// R1: the `unsafe` at `idx` must be introduced by a `SAFETY` marker.
+fn safety_covered(lines: &[&str], idx: usize) -> bool {
+    marker_covered(lines, idx, "SAFETY")
+}
+
+/// Scan one file's contents against R1/R3/R4/R5/R6. `rel` is the
 /// workspace-relative path used for allowlists and reporting.
 fn scan_contents(rel: &str, contents: &str) -> Vec<Finding> {
     let lines: Vec<&str> = contents.lines().collect();
@@ -176,17 +242,28 @@ fn scan_contents(rel: &str, contents: &str) -> Vec<Finding> {
     let relaxed_kw = kw_relaxed();
     let std_sync = std_sync_prefix();
     let banned = banned_sync_items();
+    let strong = strong_orderings();
+    let marker = ordering_marker();
 
     let shimmed = SHIMMED_FILES.contains(&rel);
     let relaxed_ok = RELAXED_FILE_ALLOWLIST.contains(&rel);
+    let ordering_ok = ORDERING_FILE_ALLOWLIST.contains(&rel);
     let in_tests_or_benches = rel.contains("/tests/") || rel.contains("/benches/");
 
-    let mut in_test_region = false;
+    // Everything from a `#[cfg(test)]` line to end-of-file counts as test
+    // code (precomputed because R5 scans the whole file at once).
+    let mut in_test = vec![false; lines.len()];
+    let mut test_flag = false;
+    for (i, raw) in lines.iter().enumerate() {
+        if raw.trim() == "#[cfg(test)]" {
+            test_flag = true;
+        }
+        in_test[i] = test_flag;
+    }
+
     for (i, raw) in lines.iter().enumerate() {
         let line_no = i + 1;
-        if raw.trim() == "#[cfg(test)]" {
-            in_test_region = true;
-        }
+        let in_test_region = in_test[i];
         let code = code_of(raw);
 
         // R1: undocumented unsafe (applies everywhere, tests included).
@@ -234,6 +311,111 @@ fn scan_contents(rel: &str, contents: &str) -> Vec<Finding> {
                      with a statistics-only justification"
                 ),
             });
+        }
+
+        // R6: strong orderings must justify what they pair with (product
+        // code only, like R4).
+        if !ordering_ok && !in_test_region && !in_tests_or_benches {
+            if let Some(ord) = strong.iter().find(|o| contains_word(code, o)) {
+                if !marker_covered(&lines, i, &marker) {
+                    findings.push(Finding {
+                        file: rel.to_string(),
+                        line: line_no,
+                        rule: "R6 ordering-audit",
+                        message: format!(
+                            "`{ord}` without an `{marker}` comment on the line \
+                             or in the comment block directly above (state \
+                             what this ordering pairs with)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    if !in_tests_or_benches {
+        findings.extend(scan_predict_conformance(rel, &lines, &in_test));
+    }
+    findings
+}
+
+/// Leading string literal of `s` (after whitespace), plus the rest.
+fn parse_literal(s: &str) -> Option<(String, &str)> {
+    let s = s.trim_start().strip_prefix('"')?;
+    let end = s.find('"')?;
+    Some((s[..end].to_string(), &s[end + 1..]))
+}
+
+/// Two comma-separated leading string literals, e.g. `"cat", "name"`.
+/// `None` when either argument is not a plain literal.
+fn parse_two_literals(s: &str) -> Option<(String, String)> {
+    let (cat, rest) = parse_literal(s)?;
+    let rest = rest.trim_start().strip_prefix(',')?;
+    let (name, _) = parse_literal(rest)?;
+    Some((cat, name))
+}
+
+/// R5: every `predict(cat, name, ..)` call with literal arguments must
+/// have a span opened with the same `(cat, name)` literals in the same
+/// file. Works on the comment-stripped file as one string, so calls
+/// wrapped across lines (rustfmt does this) still parse.
+fn scan_predict_conformance(rel: &str, lines: &[&str], in_test: &[bool]) -> Vec<Finding> {
+    let needle = predict_call();
+    let stripped: Vec<&str> = lines.iter().map(|l| code_of(l)).collect();
+    let text = stripped.join("\n");
+    if !text.contains(&needle) {
+        return Vec::new();
+    }
+
+    let mut spans: Vec<(String, String)> = Vec::new();
+    for opener in span_openers() {
+        let mut from = 0;
+        while let Some(pos) = text[from..].find(&opener) {
+            let at = from + pos;
+            if let Some(pair) = parse_two_literals(&text[at + opener.len()..]) {
+                spans.push(pair);
+            }
+            from = at + opener.len();
+        }
+    }
+
+    let dynamic_ok = PREDICT_DYNAMIC_ALLOWLIST.contains(&rel);
+    let mut findings = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(&needle) {
+        let at = from + pos;
+        from = at + needle.len();
+        let line_idx = text[..at].matches('\n').count();
+        if in_test.get(line_idx).copied().unwrap_or(false) {
+            continue;
+        }
+        match parse_two_literals(&text[at + needle.len()..]) {
+            Some(pair) if !spans.contains(&pair) => {
+                let (cat, name) = pair;
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: line_idx + 1,
+                    rule: "R5 span-predict",
+                    message: format!(
+                        "prediction (\"{cat}\", \"{name}\") has no span \
+                         opened with the same literals in this file; the \
+                         run ledger would report it Unmeasured"
+                    ),
+                });
+            }
+            Some(_) => {}
+            None if !dynamic_ok => {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: line_idx + 1,
+                    rule: "R5 span-predict",
+                    message: "prediction with a non-literal (cat, name) cannot \
+                              be statically span-matched; use literals or \
+                              allowlist the file as advisory-only"
+                        .to_string(),
+                });
+            }
+            None => {}
         }
     }
     findings
@@ -318,16 +500,103 @@ fn scan_workspace(root: &Path) -> Vec<Finding> {
     findings
 }
 
+/// Insert a stub comment above each R1/R6 finding, in place. Findings
+/// are applied deepest-line-first per file so earlier insertions don't
+/// shift later line numbers. Returns the number of files rewritten.
+/// Idempotent: the stub satisfies the rule that produced the finding, so
+/// a second scan-and-fix pass finds nothing to do.
+fn apply_fixes(root: &Path, findings: &[Finding]) -> std::io::Result<usize> {
+    use std::collections::BTreeMap;
+    let mut by_file: BTreeMap<&str, Vec<&Finding>> = BTreeMap::new();
+    for f in findings {
+        if f.rule.starts_with("R1") || f.rule.starts_with("R6") {
+            by_file.entry(f.file.as_str()).or_default().push(f);
+        }
+    }
+    let marker = ordering_marker();
+    let mut changed = 0;
+    for (file, mut file_findings) in by_file {
+        let path = root.join(file);
+        let contents = fs::read_to_string(&path)?;
+        let mut lines: Vec<String> = contents.lines().map(String::from).collect();
+        file_findings.sort_by_key(|f| std::cmp::Reverse(f.line));
+        for f in &file_findings {
+            let idx = f.line.saturating_sub(1).min(lines.len());
+            let indent: String = lines
+                .get(idx)
+                .map(|l| l.chars().take_while(|c| *c == ' ' || *c == '\t').collect())
+                .unwrap_or_default();
+            let stub = if f.rule.starts_with("R1") {
+                format!(
+                    "{indent}// SAFETY: TODO(hpa-lint): document the invariant \
+                     that makes this sound."
+                )
+            } else {
+                format!(
+                    "{indent}// {marker} TODO(hpa-lint): state what this \
+                     ordering pairs with, or relax it."
+                )
+            };
+            lines.insert(idx, stub);
+        }
+        let mut out = lines.join("\n");
+        if contents.ends_with('\n') {
+            out.push('\n');
+        }
+        fs::write(&path, out)?;
+        changed += 1;
+    }
+    Ok(changed)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Findings as a JSON array (hand-rolled: the workspace has no deps).
+fn format_json(findings: &[Finding]) -> String {
+    let items: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            format!(
+                "  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+                json_escape(&f.file),
+                f.line,
+                json_escape(f.rule),
+                json_escape(&f.message)
+            )
+        })
+        .collect();
+    if items.is_empty() {
+        "[]".to_string()
+    } else {
+        format!("[\n{}\n]", items.join(",\n"))
+    }
+}
+
 fn main() -> ExitCode {
     let mut fix_missing_safety = false;
+    let mut json = false;
     let mut root = PathBuf::from(".");
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--fix-missing-safety" => fix_missing_safety = true,
+            "--json" => json = true,
             "--help" | "-h" => {
                 println!(
-                    "hpa-lint: unsafety/atomics audit\n\
-                     usage: lint [--fix-missing-safety] [workspace-root]"
+                    "hpa-lint: unsafety/atomics/tracing audit\n\
+                     usage: lint [--fix-missing-safety] [--json] [workspace-root]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -335,31 +604,31 @@ fn main() -> ExitCode {
         }
     }
 
-    let findings = scan_workspace(&root);
+    let mut findings = scan_workspace(&root);
     if fix_missing_safety {
-        // Dry-run fix mode: list exactly where SAFETY comments belong,
-        // as clickable file:line locations.
-        let missing: Vec<&Finding> = findings
-            .iter()
-            .filter(|f| f.rule.starts_with("R1"))
-            .collect();
-        if missing.is_empty() {
-            println!("--fix-missing-safety: nothing to fix");
-        } else {
-            println!(
-                "--fix-missing-safety (dry run): insert a `// SAFETY: ...` \
-                 comment above each of:"
-            );
-            for f in &missing {
-                println!("  {}:{}", f.file, f.line);
+        match apply_fixes(&root, &findings) {
+            Ok(0) => eprintln!("--fix-missing-safety: nothing to fix"),
+            Ok(n) => {
+                eprintln!("--fix-missing-safety: patched {n} file(s) with stub comments");
+                findings = scan_workspace(&root);
+            }
+            Err(e) => {
+                eprintln!("--fix-missing-safety: {e}");
+                return ExitCode::FAILURE;
             }
         }
     }
-    for f in &findings {
-        eprintln!("{f}");
+    if json {
+        println!("{}", format_json(&findings));
+    } else {
+        for f in &findings {
+            eprintln!("{f}");
+        }
     }
     if findings.is_empty() {
-        println!("hpa-lint: workspace clean");
+        if !json {
+            println!("hpa-lint: workspace clean");
+        }
         ExitCode::SUCCESS
     } else {
         eprintln!("hpa-lint: {} finding(s)", findings.len());
@@ -479,6 +748,130 @@ mod tests {
                 .collect::<Vec<_>>()
                 .join("\n")
         );
+    }
+
+    #[test]
+    fn r5_matches_predictions_to_spans() {
+        let pred = predict_call();
+        let span = &span_openers()[0];
+
+        // A prediction whose (cat, name) literals have a span: clean.
+        let matched = format!(
+            "let _s = {span}\"dict\", \"insert\", 0);\n{pred}\"dict\", \"insert\", 1.0);\n"
+        );
+        assert!(scan_contents("crates/dict/src/x.rs", &matched).is_empty());
+
+        // No span at all: flagged, with the literals in the message.
+        let unmatched = format!("{pred}\"dict\", \"insert\", 1.0);\n");
+        let findings = scan_contents("crates/dict/src/x.rs", &unmatched);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "R5 span-predict");
+        assert_eq!(findings[0].line, 1);
+        assert!(findings[0].message.contains("\"dict\", \"insert\""));
+
+        // A span with *different* literals does not satisfy the call.
+        let mismatched =
+            format!("let _s = {span}\"dict\", \"probe\", 0);\n{pred}\"dict\", \"insert\", 1.0);\n");
+        assert_eq!(scan_contents("crates/dict/src/x.rs", &mismatched).len(), 1);
+
+        // rustfmt-wrapped calls parse across lines.
+        let multiline = format!(
+            "let _s = {span}\n    \"io\",\n    \"decode\",\n    0,\n);\n\
+             {pred}\n    \"io\",\n    \"decode\",\n    1.0,\n);\n"
+        );
+        assert!(scan_contents("crates/io/src/x.rs", &multiline).is_empty());
+
+        // Test regions are exempt.
+        let in_test = format!("#[cfg(test)]\nmod tests {{\n    {pred}\"a\", \"b\", 1.0);\n}}\n");
+        assert!(scan_contents("crates/dict/src/x.rs", &in_test).is_empty());
+    }
+
+    #[test]
+    fn r5_flags_dynamic_names_unless_allowlisted() {
+        let pred = predict_call();
+        let dynamic = format!("{pred}\"dict\", name, 1.0);\n");
+        let findings = scan_contents("crates/dict/src/x.rs", &dynamic);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("non-literal"));
+        // The advisory-prediction allowlist suppresses it.
+        assert!(scan_contents("crates/dict/src/costmodel.rs", &dynamic).is_empty());
+    }
+
+    #[test]
+    fn r6_requires_ordering_justifications() {
+        let ord = &strong_orderings()[0];
+        let marker = ordering_marker();
+
+        let bare = format!("let v = a.load({ord});\n");
+        let findings = scan_contents("crates/io/src/channel.rs", &bare);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "R6 ordering-audit");
+
+        // Same-line and block-above markers both cover the site.
+        let same_line =
+            format!("let v = a.load({ord}); // {marker} pairs with the release store\n");
+        assert!(scan_contents("crates/io/src/channel.rs", &same_line).is_empty());
+        let above =
+            format!("// {marker} pairs with the release store in push()\nlet v = a.load({ord});\n");
+        assert!(scan_contents("crates/io/src/channel.rs", &above).is_empty());
+
+        // `std::cmp::Ordering` variants are not atomic orderings.
+        let cmp = "matches!(o, Ordering::Less | Ordering::Greater | Ordering::Equal)\n";
+        assert!(scan_contents("crates/io/src/channel.rs", cmp).is_empty());
+
+        // Allowlisted shim file and test regions are exempt.
+        assert!(scan_contents("crates/check/src/sync.rs", &bare).is_empty());
+        let in_test = format!("#[cfg(test)]\nmod tests {{\n    {bare}}}\n");
+        assert!(scan_contents("crates/io/src/channel.rs", &in_test).is_empty());
+        assert!(scan_contents("crates/exec/tests/t.rs", &bare).is_empty());
+    }
+
+    #[test]
+    fn fix_mode_inserts_stubs_and_is_idempotent() {
+        let dir = std::env::temp_dir().join(format!("hpa-lint-fix-{}", std::process::id()));
+        let src_dir = dir.join("crates").join("exec").join("src");
+        fs::create_dir_all(&src_dir).expect("create fixture tree");
+        let file = src_dir.join("x.rs");
+        let ord = &strong_orderings()[1];
+        let contents = format!(
+            "fn f() {{\n    {} {{ g() }}\n    a.store(1, {ord});\n}}\n",
+            kw_unsafe()
+        );
+        fs::write(&file, &contents).expect("write fixture");
+
+        let findings = scan_workspace(&dir);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert_eq!(apply_fixes(&dir, &findings).expect("apply"), 1);
+
+        // The patched file scans clean and kept the sites' indentation.
+        let after = scan_workspace(&dir);
+        assert!(after.is_empty(), "{after:?}");
+        let fixed = fs::read_to_string(&file).expect("read back");
+        assert!(fixed.contains("    // SAFETY: TODO(hpa-lint)"));
+        assert!(fixed.contains(&format!("    // {} TODO(hpa-lint)", ordering_marker())));
+        assert!(fixed.ends_with('\n'));
+
+        // Idempotent: a second pass changes nothing.
+        assert_eq!(apply_fixes(&dir, &after).expect("reapply"), 0);
+        assert_eq!(fs::read_to_string(&file).expect("reread"), fixed);
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_output_is_escaped_and_well_shaped() {
+        assert_eq!(format_json(&[]), "[]");
+        let f = Finding {
+            file: "crates/a \"b\".rs".to_string(),
+            line: 3,
+            rule: "R1 safety-comment",
+            message: "line1\nline2".to_string(),
+        };
+        let s = format_json(&[f]);
+        assert!(s.starts_with("[\n") && s.ends_with("\n]"), "{s}");
+        assert!(s.contains("\"file\": \"crates/a \\\"b\\\".rs\""), "{s}");
+        assert!(s.contains("\"line\": 3"), "{s}");
+        assert!(s.contains("line1\\nline2"), "{s}");
     }
 
     #[test]

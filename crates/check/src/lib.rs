@@ -38,9 +38,19 @@
 //! or stronger and SC exploration is a faithful over-approximation of
 //! the states those orderings allow.
 //!
+//! On top of the explorer, [`race`] adds two dynamic analyses that run
+//! *inside* every explored execution: a vector-clock happens-before race
+//! detector (shim operations maintain the clocks; [`race::tracked::Cell`]
+//! and [`race::Track`] tag shared non-atomic state) and a lock-order
+//! analyzer whose acquisition graph is reported in [`Report::locks`].
+//! A data race or lock-order cycle fails the run even when no explored
+//! schedule computes a wrong value — which is exactly the failure mode
+//! SC exploration alone cannot see.
+//!
 //! See `DESIGN.md` § Verification for how the substrate crates are
 //! wired to the shims and which suites encode the known-hard schedules.
 
+pub mod race;
 pub mod sched;
 pub mod sync;
 pub mod thread;
@@ -50,14 +60,24 @@ pub use sched::{CheckConfig, CheckError, Report, Strategy};
 use std::sync::Arc;
 
 /// Run `f` under the model checker with [`CheckConfig::default`],
-/// panicking (with the failing schedule) if any interleaving deadlocks
-/// or panics. Returns the exploration [`Report`] otherwise.
+/// panicking (with the failing schedule) if any interleaving deadlocks,
+/// panics, races on tracked state, or orders two locks both ways.
+/// Returns the exploration [`Report`] otherwise.
 pub fn model(f: impl Fn() + Send + Sync + 'static) -> Report {
     let report = model_with(CheckConfig::default(), f);
     if let Some(e) = &report.error {
         panic!(
             "model check failed after {} interleavings: {}\nfailing schedule: {:?}",
             report.interleavings, e.message, e.schedule
+        );
+    }
+    if let Some(cycle) = &report.locks.cycle {
+        panic!(
+            "model check found a lock-order cycle after {} interleavings \
+             (a deadlock waiting for the right schedule): {:?}\n{}",
+            report.interleavings,
+            cycle,
+            report.locks.to_dot()
         );
     }
     report
@@ -265,6 +285,80 @@ mod tests {
         let a = sync::atomic::AtomicUsize::new(3);
         assert_eq!(a.fetch_add(2, std::sync::atomic::Ordering::SeqCst), 3);
         assert_eq!(a.load(std::sync::atomic::Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn join_edge_inherits_the_child_clock() {
+        use race::{current_clock, VClock};
+        let report = model(|| {
+            let snap = Arc::new(std::sync::Mutex::new(VClock::new()));
+            let s2 = Arc::clone(&snap);
+            let t = thread::spawn(move || {
+                yield_now();
+                *s2.lock().unwrap() = current_clock().expect("inside a run");
+            });
+            let before = current_clock().expect("inside a run");
+            t.join().unwrap();
+            let after = current_clock().expect("inside a run");
+            let child = snap.lock().unwrap().clone();
+            // The snapshot slot is a raw std mutex, deliberately invisible
+            // to the model: the ONLY edge that can order the child's
+            // clock before `after` is the join itself.
+            assert!(
+                child.leq(&after),
+                "join must inherit the child's final clock"
+            );
+            assert!(
+                !child.leq(&before),
+                "the child's own progress is unordered before the join"
+            );
+        });
+        assert!(report.error.is_none(), "{report:?}");
+    }
+
+    #[test]
+    fn timed_wait_inherits_the_notifier_clock_only_when_notified() {
+        use race::{current_clock, VClock};
+        // Outcome flags across the whole exploration: at least one
+        // schedule must wake by notify with the edge present, and at
+        // least one must time out with the edge absent.
+        let saw = Arc::new(std::sync::Mutex::new((false, false)));
+        let saw2 = Arc::clone(&saw);
+        let report = model_with(CheckConfig::default(), move || {
+            let pair = Arc::new((sync::Mutex::new(()), sync::Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            // Notifier clock snapshot, out-of-band (raw std mutex) so the
+            // condvar is the only possible model edge from the notifier:
+            // it never touches the shim mutex the waiter re-acquires.
+            let snap = Arc::new(std::sync::Mutex::new(None::<VClock>));
+            let snap2 = Arc::clone(&snap);
+            let saw = Arc::clone(&saw2);
+            let t = thread::spawn(move || {
+                *snap2.lock().unwrap() = Some(current_clock().expect("inside a run"));
+                p2.1.notify_one();
+            });
+            let (m, cv) = &*pair;
+            let mut g = m.lock();
+            let timed_out = cv.wait_for(&mut g, std::time::Duration::from_millis(1));
+            drop(g);
+            let me = current_clock().expect("inside a run");
+            if let Some(nc) = snap.lock().unwrap().clone() {
+                let inherited = nc.leq(&me);
+                let mut s = saw.lock().unwrap();
+                if !timed_out {
+                    assert!(inherited, "a notified wake must acquire from the notifier");
+                    s.0 = true;
+                } else {
+                    assert!(!inherited, "a timeout wake must NOT get the condvar edge");
+                    s.1 = true;
+                }
+            }
+            t.join().unwrap();
+        });
+        assert!(report.error.is_none(), "{report:?}");
+        let s = saw.lock().unwrap();
+        assert!(s.0, "no explored schedule woke by notify: {report:?}");
+        assert!(s.1, "no explored schedule timed out: {report:?}");
     }
 
     #[test]

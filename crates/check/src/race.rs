@@ -1,0 +1,535 @@
+//! Dynamic analyses that run *inside* the deterministic scheduler:
+//! vector-clock happens-before race detection and lock-order analysis.
+//!
+//! The scheduler serializes model threads, so every execution it explores
+//! is sequentially consistent — an unsynchronized access pair that never
+//! produces a wrong *value* under any SC schedule passes the explorer
+//! silently, yet is still a data race in the Rust/C++ memory model (and
+//! real hardware will happily break it). This module closes that gap the
+//! way FastTrack/Djit+ do for real executions:
+//!
+//! * Every model thread carries a [`VClock`]. Shim operations with
+//!   release semantics (mutex unlock, `Release`/`SeqCst` stores, condvar
+//!   notify, spawn) publish the thread's clock into the object involved;
+//!   operations with acquire semantics (mutex lock, `Acquire`/`SeqCst`
+//!   loads, waking from a notified wait, join) merge the object's clock
+//!   back in. The clocks therefore encode exactly the happens-before
+//!   order the *program* establishes, independent of the schedule the
+//!   explorer happened to pick.
+//! * Shared non-atomic state is tagged with a [`Track`] (or wrapped in a
+//!   [`tracked::Cell`]). Each logical read/write is checked against the
+//!   last writer and the read set: two accesses from different threads,
+//!   at least one a write, with neither clock dominating the other, are
+//!   a race — reported with **both** replayable schedules, whatever
+//!   order the current schedule happened to run them in.
+//!
+//! Because detection is happens-before based, a race is typically flagged
+//! on the very first execution: no schedule enumeration is needed to
+//! witness a missing edge.
+//!
+//! The second analysis is lock-order: every time a thread requests a shim
+//! mutex while holding others, the scheduler records `held -> requested`
+//! edges. A cycle in that graph within any explored execution is a
+//! deadlock waiting for the right schedule, even if no explored schedule
+//! actually deadlocks (e.g. the inverted acquisitions are separated by a
+//! join). [`LockOrder`] carries the union graph across all executions for
+//! [DOT export](LockOrder::to_dot); the authoritative cycle check is
+//! per-execution, because object ids are assigned lazily per execution
+//! and unioning ids across executions could alias distinct locks.
+
+use crate::sched;
+use std::sync::Mutex as StdMutex;
+
+/// A vector clock: one logical-time component per model thread.
+///
+/// Missing components read as zero, so clocks start small and only grow
+/// to the number of threads they have actually synchronized with.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The zero clock: happens-before everything.
+    pub const fn new() -> Self {
+        VClock(Vec::new())
+    }
+
+    /// Component for `tid` (zero when never advanced).
+    pub fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advance `tid`'s own component by one (a release event).
+    pub fn bump(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Component-wise maximum: afterwards `self` dominates both inputs
+    /// (an acquire event).
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (s, o) in self.0.iter_mut().zip(&other.0) {
+            if *o > *s {
+                *s = *o;
+            }
+        }
+    }
+
+    /// The happens-before partial order: does every component of `self`
+    /// lag (or equal) the corresponding component of `other`?
+    pub fn leq(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(t, &v)| v <= other.get(t))
+    }
+}
+
+/// Snapshot of the calling model thread the scheduler hands to the
+/// detector on each tracked access.
+pub(crate) struct AccessInfo {
+    pub(crate) tid: usize,
+    pub(crate) clock: VClock,
+    /// Decision indices taken so far — replaying them reaches this access.
+    pub(crate) schedule: Vec<usize>,
+    /// Operation count at the access, to name it in reports.
+    pub(crate) op: usize,
+}
+
+/// One remembered access to a tracked object.
+#[derive(Clone, Debug)]
+struct Access {
+    tid: usize,
+    /// The accessor's own clock component at the access. A later access
+    /// by thread `u` with clock `C` is ordered after this one iff
+    /// `epoch <= C[tid]` (the FastTrack epoch test).
+    epoch: u64,
+    schedule: Vec<usize>,
+    op: usize,
+}
+
+#[derive(Default)]
+struct TrackState {
+    /// Execution nonce the state belongs to; stale state from a previous
+    /// execution is discarded on first touch (zero = never touched).
+    run_tag: u64,
+    last_write: Option<Access>,
+    reads: Vec<Access>,
+}
+
+/// Race-detection tag for one logical unit of shared non-atomic state.
+///
+/// Facades embed a `Track` next to the state they guard and call
+/// [`on_read`](Track::on_read) / [`on_write`](Track::on_write) at each
+/// logical access *inside* whatever critical section protects it. Inside
+/// a model run the scheduler checks the access against the remembered
+/// last-writer/reader clocks and fails the run on the first unordered
+/// pair; outside a run both calls return immediately.
+pub struct Track {
+    name: &'static str,
+    state: StdMutex<TrackState>,
+}
+
+impl Track {
+    /// A named tracker; the name identifies the state in race reports.
+    pub const fn new(name: &'static str) -> Self {
+        Track {
+            name,
+            state: StdMutex::new(TrackState {
+                run_tag: 0,
+                last_write: None,
+                reads: Vec::new(),
+            }),
+        }
+    }
+
+    /// The name given at construction.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Record a logical read of the tracked state.
+    pub fn on_read(&self) {
+        self.record(false);
+    }
+
+    /// Record a logical write of the tracked state.
+    pub fn on_write(&self) {
+        self.record(true);
+    }
+
+    fn record(&self, is_write: bool) {
+        let Some(ctx) = sched::current() else { return };
+        let Some(info) = ctx.access_info() else {
+            return;
+        };
+        let tag = ctx.run_tag();
+        let kind = if is_write { "write" } else { "read" };
+        // Lock order: the scheduler lock (taken and released inside
+        // `access_info`) is never held across this state lock, and
+        // `race_fail` below runs only after the guard is dropped.
+        let conflict = {
+            let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            if st.run_tag != tag {
+                st.run_tag = tag;
+                st.last_write = None;
+                st.reads.clear();
+            }
+            let cur = Access {
+                tid: info.tid,
+                epoch: info.clock.get(info.tid),
+                schedule: info.schedule.clone(),
+                op: info.op,
+            };
+            let ordered = |a: &Access| a.epoch <= info.clock.get(a.tid);
+            let mut conflict = None;
+            if let Some(w) = &st.last_write {
+                if w.tid != cur.tid && !ordered(w) {
+                    conflict = Some((w.clone(), "write"));
+                }
+            }
+            if is_write && conflict.is_none() {
+                conflict = st
+                    .reads
+                    .iter()
+                    .find(|r| r.tid != cur.tid && !ordered(r))
+                    .map(|r| (r.clone(), "read"));
+            }
+            if conflict.is_none() {
+                if is_write {
+                    st.last_write = Some(cur);
+                    st.reads.clear();
+                } else {
+                    st.reads.retain(|r| r.tid != cur.tid);
+                    st.reads.push(cur);
+                }
+            }
+            conflict
+        };
+        if let Some((prior, prior_kind)) = conflict {
+            ctx.race_fail(format!(
+                "data race on tracked state `{}`: {prior_kind} by thread {} (op {}) and \
+                 {kind} by thread {} (op {}) are unordered — no happens-before edge \
+                 connects them\n  replay schedule to the {prior_kind}: {:?}\n  \
+                 replay schedule to the {kind}: {:?}",
+                self.name, prior.tid, prior.op, info.tid, info.op, prior.schedule, info.schedule,
+            ));
+        }
+    }
+}
+
+impl std::fmt::Debug for Track {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Track").field("name", &self.name).finish()
+    }
+}
+
+impl Default for Track {
+    fn default() -> Self {
+        Track::new("shared")
+    }
+}
+
+impl Clone for Track {
+    /// Cloning yields a *fresh* tracker: the clone guards a distinct copy
+    /// of the state, so inheriting access history would manufacture
+    /// false conflicts between unrelated objects.
+    fn clone(&self) -> Self {
+        Track::new(self.name)
+    }
+}
+
+/// Record a logical read on `track` (free-function form of
+/// [`Track::on_read`], for facades that tag state they don't own).
+pub fn tracked_read(track: &Track) {
+    track.on_read();
+}
+
+/// Record a logical write on `track`.
+pub fn tracked_write(track: &Track) {
+    track.on_write();
+}
+
+/// The calling model thread's vector clock, when inside a model run.
+///
+/// Instrumentation for testing the happens-before edges themselves: a
+/// clock snapshot taken in one thread [`leq`](VClock::leq) a snapshot
+/// taken later in another iff the program ordered the two points.
+pub fn current_clock() -> Option<VClock> {
+    sched::current().map(|ctx| ctx.thread_clock())
+}
+
+pub mod tracked {
+    //! A race-checked cell for shared non-atomic state in model bodies.
+
+    use super::Track;
+    use std::sync::Mutex as StdMutex;
+
+    /// Shared cell whose every access is checked for happens-before
+    /// ordering under a model run.
+    ///
+    /// The value itself lives behind a plain mutex, so even an access
+    /// pair the detector is about to flag is physically well-defined —
+    /// the *race* being reported is the missing happens-before edge in
+    /// the program under test, not torn memory in the checker. Inside a
+    /// model run the scheduler serializes threads, so the mutex is
+    /// uncontended and invisible to the model.
+    #[derive(Debug, Default)]
+    pub struct Cell<T> {
+        track: Track,
+        value: StdMutex<T>,
+    }
+
+    impl<T> Cell<T> {
+        /// A named cell holding `value`; the name labels race reports.
+        pub const fn new(name: &'static str, value: T) -> Self {
+            Cell {
+                track: Track::new(name),
+                value: StdMutex::new(value),
+            }
+        }
+
+        /// Read access to the value (checked as a logical read).
+        pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+            self.track.on_read();
+            f(&self.value.lock().unwrap_or_else(|e| e.into_inner()))
+        }
+
+        /// Write access to the value (checked as a logical write).
+        pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+            self.track.on_write();
+            f(&mut self.value.lock().unwrap_or_else(|e| e.into_inner()))
+        }
+    }
+
+    impl<T: Copy> Cell<T> {
+        /// The current value (checked as a logical read).
+        pub fn get(&self) -> T {
+            self.with(|v| *v)
+        }
+
+        /// Replace the value (checked as a logical write).
+        pub fn set(&self, value: T) {
+            self.with_mut(|v| *v = value);
+        }
+    }
+}
+
+// ---- lock-order analysis ------------------------------------------------
+
+/// One observed lock-acquisition ordering: some thread requested lock
+/// `to` while holding lock `from`.
+#[derive(Clone, Debug)]
+pub struct LockEdge {
+    /// Per-execution id of the lock already held.
+    pub from: usize,
+    /// Per-execution id of the lock requested while holding `from`.
+    pub to: usize,
+    /// Decision indices replaying the first execution that witnessed the
+    /// edge, up to the acquisition request.
+    pub schedule: Vec<usize>,
+}
+
+/// The lock-acquisition order graph accumulated over all explored
+/// executions, plus the first cycle found (checked per execution).
+#[derive(Clone, Debug, Default)]
+pub struct LockOrder {
+    /// Union of the edges witnessed by every execution. Ids are
+    /// per-execution, so treat the union as descriptive (DOT export);
+    /// the cycle check itself only ever combines edges from a single
+    /// execution, where ids are consistent.
+    pub edges: Vec<LockEdge>,
+    /// Lock ids on the first cycle found, in order, first repeated last.
+    pub cycle: Option<Vec<usize>>,
+}
+
+impl LockOrder {
+    /// True when no explored execution ordered two locks both ways.
+    pub fn is_acyclic(&self) -> bool {
+        self.cycle.is_none()
+    }
+
+    /// The graph in Graphviz DOT form, cycle (if any) highlighted.
+    pub fn to_dot(&self) -> String {
+        let on_cycle = |a: usize, b: usize| {
+            self.cycle
+                .as_deref()
+                .is_some_and(|c| c.windows(2).any(|w| w[0] == a && w[1] == b))
+        };
+        let mut out = String::from("digraph lock_order {\n");
+        for e in &self.edges {
+            out.push_str(&format!(
+                "  L{} -> L{}{};\n",
+                e.from,
+                e.to,
+                if on_cycle(e.from, e.to) {
+                    " [color=red, penwidth=2]"
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// First cycle in the `from -> to` edge list, as the lock ids along it
+/// (first node repeated at the end); `None` when the graph is acyclic.
+pub(crate) fn find_cycle(edges: &[(usize, usize)]) -> Option<Vec<usize>> {
+    use std::collections::BTreeMap;
+
+    fn dfs(
+        n: usize,
+        adj: &BTreeMap<usize, Vec<usize>>,
+        color: &mut BTreeMap<usize, u8>,
+        stack: &mut Vec<usize>,
+    ) -> Option<Vec<usize>> {
+        color.insert(n, 1); // gray: on the current path
+        stack.push(n);
+        if let Some(next) = adj.get(&n) {
+            for &m in next {
+                match color.get(&m).copied().unwrap_or(0) {
+                    0 => {
+                        if let Some(cycle) = dfs(m, adj, color, stack) {
+                            return Some(cycle);
+                        }
+                    }
+                    1 => {
+                        let start = stack.iter().position(|&x| x == m).unwrap_or(0);
+                        let mut cycle = stack[start..].to_vec();
+                        cycle.push(m);
+                        return Some(cycle);
+                    }
+                    _ => {} // black: fully explored, no cycle through it
+                }
+            }
+        }
+        stack.pop();
+        color.insert(n, 2);
+        None
+    }
+
+    let mut adj: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for &(a, b) in edges {
+        adj.entry(a).or_default().push(b);
+        adj.entry(b).or_default();
+    }
+    let nodes: Vec<usize> = adj.keys().copied().collect();
+    let mut color: BTreeMap<usize, u8> = BTreeMap::new();
+    let mut stack = Vec::new();
+    for n in nodes {
+        if color.get(&n).copied().unwrap_or(0) == 0 {
+            if let Some(cycle) = dfs(n, &adj, &mut color, &mut stack) {
+                return Some(cycle);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_join_is_componentwise_max() {
+        let mut a = VClock::new();
+        a.bump(0);
+        a.bump(0);
+        a.bump(2);
+        let mut b = VClock::new();
+        b.bump(1);
+        b.bump(2);
+        b.bump(2);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+        assert_eq!(a.get(2), 2);
+        assert_eq!(a.get(7), 0, "missing components read as zero");
+    }
+
+    #[test]
+    fn clock_leq_is_a_partial_order() {
+        let zero = VClock::new();
+        let mut a = VClock::new();
+        a.bump(0);
+        let mut b = VClock::new();
+        b.bump(1);
+        assert!(zero.leq(&a) && zero.leq(&b), "zero precedes everything");
+        assert!(a.leq(&a), "reflexive");
+        assert!(!a.leq(&b) && !b.leq(&a), "concurrent clocks are unordered");
+        let mut ab = a.clone();
+        ab.join(&b);
+        assert!(a.leq(&ab) && b.leq(&ab), "join dominates both inputs");
+        assert!(!ab.leq(&a), "domination is strict when components differ");
+    }
+
+    #[test]
+    fn release_acquire_through_a_clock_object_orders_the_epochs() {
+        // Model what the scheduler does for unlock(m) in t0 / lock(m) in
+        // t1: t0's pre-release epoch must be visible to t1 afterwards.
+        let mut t0 = VClock::new();
+        t0.bump(0);
+        let mut t1 = VClock::new();
+        t1.bump(1);
+        let write_epoch = t0.get(0);
+        let mut m = VClock::new();
+        m.join(&t0); // release: publish into the object...
+        t0.bump(0); // ...and advance past the published point
+        t1.join(&m); // acquire: inherit the object clock
+        assert!(write_epoch <= t1.get(0), "write ordered before reader");
+        assert!(
+            t0.get(0) > t1.get(0),
+            "work after the release is NOT ordered before the acquire"
+        );
+    }
+
+    #[test]
+    fn find_cycle_reports_the_loop_and_clears_acyclic_graphs() {
+        assert_eq!(find_cycle(&[]), None);
+        assert_eq!(find_cycle(&[(0, 1), (1, 2), (0, 2)]), None);
+        let cycle = find_cycle(&[(3, 1), (1, 2), (2, 3)]).expect("cycle");
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(cycle.len() == 4, "three locks plus the repeated head");
+        let tight = find_cycle(&[(5, 5)]).expect("self-loop");
+        assert_eq!(tight, vec![5, 5]);
+    }
+
+    #[test]
+    fn track_is_inert_outside_a_model_run() {
+        let t = Track::new("outside");
+        t.on_write();
+        t.on_read();
+        let cell = tracked::Cell::new("outside-cell", 7u32);
+        assert_eq!(cell.get(), 7);
+        cell.set(9);
+        assert_eq!(cell.with(|v| *v), 9);
+        assert_eq!(current_clock(), None);
+    }
+
+    #[test]
+    fn dot_export_lists_every_edge() {
+        let order = LockOrder {
+            edges: vec![
+                LockEdge {
+                    from: 0,
+                    to: 1,
+                    schedule: vec![],
+                },
+                LockEdge {
+                    from: 1,
+                    to: 0,
+                    schedule: vec![],
+                },
+            ],
+            cycle: Some(vec![0, 1, 0]),
+        };
+        let dot = order.to_dot();
+        assert!(dot.contains("L0 -> L1"));
+        assert!(dot.contains("L1 -> L0"));
+        assert!(dot.contains("color=red"), "cycle edges highlighted");
+        assert!(!order.is_acyclic());
+    }
+}

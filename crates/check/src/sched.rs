@@ -34,9 +34,10 @@
 //! If no thread is schedulable and not all threads finished, the run
 //! reports a deadlock together with the schedule that produced it.
 
+use crate::race::{self, AccessInfo, LockEdge, LockOrder, VClock};
 use hpa_rng::SplitMix64;
 use std::cell::RefCell;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdGuard};
@@ -76,18 +77,40 @@ struct ThreadRec {
     status: Status,
     /// For condvar waiters: woken by notify (`true`) or timeout (`false`).
     notified: bool,
+    /// Happens-before clock (see [`crate::race`]).
+    clock: VClock,
+    /// Shim mutexes currently held, in acquisition order (lock-order
+    /// edges are recorded from every held lock to each new request).
+    held: Vec<usize>,
+}
+
+impl ThreadRec {
+    fn new(clock: VClock) -> Self {
+        ThreadRec {
+            status: Status::Runnable,
+            notified: false,
+            clock,
+            held: Vec::new(),
+        }
+    }
 }
 
 enum ObjState {
     Lock {
         owner: Option<usize>,
         waiters: Vec<usize>,
+        /// Clock published by the last release (acquirers join it).
+        clock: VClock,
     },
     Cv {
         waiters: Vec<usize>,
+        /// Clock published by notifiers (notified waiters join it).
+        clock: VClock,
     },
     Atomic {
         val: u64,
+        /// Clock published by release-stores (acquire-loads join it).
+        clock: VClock,
     },
 }
 
@@ -112,6 +135,9 @@ struct SchedState {
     sigs: Vec<u64>,
     /// Random-walk generator; `None` selects DFS (first alternative).
     rng: Option<SplitMix64>,
+    /// Lock-order edges witnessed this execution: `(held, requested)`,
+    /// with the decision path to the first acquisition request as witness.
+    lock_edges: BTreeMap<(usize, usize), Vec<usize>>,
     error: Option<String>,
     aborting: bool,
     done: bool,
@@ -185,23 +211,71 @@ impl SchedState {
             };
             mix(code | ((t.notified as u64) << 41));
         }
+        // Clocks and held-lock stacks are functions of the schedule that
+        // is already part of the signature's history; hashing them would
+        // only inflate the distinct-state count.
         for o in &self.objects {
             match o {
-                ObjState::Lock { owner, waiters } => {
+                ObjState::Lock { owner, waiters, .. } => {
                     mix(0x10 | owner.map_or(0, |w| (w as u64 + 1) << 8));
                     for w in waiters {
                         mix(0x11 | ((*w as u64) << 8));
                     }
                 }
-                ObjState::Cv { waiters } => {
+                ObjState::Cv { waiters, .. } => {
                     for w in waiters {
                         mix(0x20 | ((*w as u64) << 8));
                     }
                 }
-                ObjState::Atomic { val } => mix(0x30 ^ *val),
+                ObjState::Atomic { val, .. } => mix(0x30 ^ *val),
             }
         }
         self.sigs.push(h);
+    }
+
+    /// Decision indices taken so far: the replay path to "here".
+    fn schedule_so_far(&self) -> Vec<usize> {
+        self.decisions.iter().map(|d| d.index as usize).collect()
+    }
+
+    fn obj_clock(&mut self, oid: usize) -> &mut VClock {
+        match &mut self.objects[oid] {
+            ObjState::Lock { clock, .. }
+            | ObjState::Cv { clock, .. }
+            | ObjState::Atomic { clock, .. } => clock,
+        }
+    }
+
+    /// Release edge: publish `tid`'s clock into object `oid`, then move
+    /// `tid` past the published point so later work stays unordered.
+    fn clock_release(&mut self, tid: usize, oid: usize) {
+        let c = self.threads[tid].clock.clone();
+        self.obj_clock(oid).join(&c);
+        self.threads[tid].clock.bump(tid);
+    }
+
+    /// Acquire edge: `tid` inherits everything published into `oid`.
+    fn clock_acquire(&mut self, tid: usize, oid: usize) {
+        let c = self.obj_clock(oid).clone();
+        self.threads[tid].clock.join(&c);
+    }
+
+    /// Record lock-order edges from every lock `tid` holds to `oid`, at
+    /// acquisition-request time (so edges exist even on schedules that
+    /// then deadlock).
+    fn record_lock_edges(&mut self, tid: usize, oid: usize) {
+        if self.threads[tid].held.is_empty() {
+            return;
+        }
+        let witness = self.schedule_so_far();
+        let held = self.threads[tid].held.clone();
+        for h in held {
+            if h != oid {
+                self.lock_edges
+                    .entry((h, oid))
+                    .or_insert_with(|| witness.clone());
+            }
+        }
     }
 
     /// Pick one of `n` alternatives, replaying the prefix when inside it.
@@ -328,8 +402,11 @@ impl Ctx {
         }
         let next = cands[idx];
         // Scheduling a timed condvar waiter means its timeout fires.
+        // A timeout wake deliberately gets NO condvar clock edge: only
+        // the mutex re-acquisition orders it, exactly like a real timed
+        // wait that raced a missing notify.
         if let Status::Cv { cv, .. } = st.threads[next].status {
-            if let ObjState::Cv { waiters } = &mut st.objects[cv] {
+            if let ObjState::Cv { waiters, .. } = &mut st.objects[cv] {
                 waiters.retain(|&w| w != next);
             }
             st.threads[next].status = Status::Runnable;
@@ -361,17 +438,22 @@ impl Ctx {
         self.obj(cell, || ObjState::Lock {
             owner: None,
             waiters: Vec::new(),
+            clock: VClock::new(),
         })
     }
 
     fn cv_obj(&self, cell: &ObjCell) -> usize {
         self.obj(cell, || ObjState::Cv {
             waiters: Vec::new(),
+            clock: VClock::new(),
         })
     }
 
     fn atomic_obj(&self, cell: &ObjCell, init: u64) -> usize {
-        self.obj(cell, move || ObjState::Atomic { val: init })
+        self.obj(cell, move || ObjState::Atomic {
+            val: init,
+            clock: VClock::new(),
+        })
     }
 
     /// Acquire (cooperatively) with the lock handoff protocol: if the
@@ -383,8 +465,9 @@ impl Ctx {
         oid: usize,
     ) -> StdGuard<'a, SchedState> {
         let me = self.tid;
+        st.record_lock_edges(me, oid);
         let held = match &mut st.objects[oid] {
-            ObjState::Lock { owner, waiters } => {
+            ObjState::Lock { owner, waiters, .. } => {
                 if owner.is_none() {
                     *owner = Some(me);
                     false
@@ -401,11 +484,15 @@ impl Ctx {
         if held {
             st.threads[me].status = Status::Lock(oid);
             st = self.switch_point(st);
-            // Handoff made us owner before scheduling us.
+            // Handoff made us owner (and gave us the acquire edge)
+            // before scheduling us.
             debug_assert!(matches!(
                 st.objects[oid],
                 ObjState::Lock { owner: Some(o), .. } if o == me
             ));
+        } else {
+            st.clock_acquire(me, oid);
+            st.threads[me].held.push(oid);
         }
         st
     }
@@ -414,8 +501,10 @@ impl Ctx {
     /// (which waiter is a recorded decision). Never switches threads.
     fn release(&self, st: &mut StdGuard<'_, SchedState>, oid: usize) {
         let me = self.tid;
+        st.clock_release(me, oid);
+        st.threads[me].held.retain(|&h| h != oid);
         let n_waiters = match &st.objects[oid] {
-            ObjState::Lock { owner, waiters } => {
+            ObjState::Lock { owner, waiters, .. } => {
                 debug_assert_eq!(*owner, Some(me), "unlock by non-owner");
                 waiters.len()
             }
@@ -449,13 +538,18 @@ impl Ctx {
                 }
             }
         };
-        if let ObjState::Lock { owner, waiters } = &mut st.objects[oid] {
+        if let ObjState::Lock { owner, waiters, .. } = &mut st.objects[oid] {
             match pick {
                 None => *owner = None,
                 Some(i) => {
                     let w = waiters.remove(i);
                     *owner = Some(w);
                     st.threads[w].status = Status::Runnable;
+                    // Handoff acquisition: the waiter gets its acquire
+                    // edge and held entry here, since it resumes past
+                    // the acquire code path.
+                    st.clock_acquire(w, oid);
+                    st.threads[w].held.push(oid);
                 }
             }
         }
@@ -499,7 +593,7 @@ impl Ctx {
         self.release(&mut st, oid);
         st.threads[me].status = Status::Cv { cv: cvid, timed };
         st.threads[me].notified = false;
-        if let ObjState::Cv { waiters } = &mut st.objects[cvid] {
+        if let ObjState::Cv { waiters, .. } = &mut st.objects[cvid] {
             waiters.push(me);
         }
         st = self.switch_point(st);
@@ -515,7 +609,7 @@ impl Ctx {
             return;
         }
         st = self.admit(st, 0x300 | (cvid as u64) << 16);
-        let woken: Vec<usize> = if let ObjState::Cv { waiters } = &mut st.objects[cvid] {
+        let woken: Vec<usize> = if let ObjState::Cv { waiters, .. } = &mut st.objects[cvid] {
             if all {
                 std::mem::take(waiters)
             } else if waiters.is_empty() {
@@ -526,7 +620,16 @@ impl Ctx {
         } else {
             Vec::new()
         };
+        // A notify that wakes someone is a release into the condvar, and
+        // each notified waiter acquires from it. A missed notify (empty
+        // waiter set) publishes nothing — just like the real thing, where
+        // only the wait/notify pairing synchronizes.
+        if !woken.is_empty() {
+            let me = self.tid;
+            st.clock_release(me, cvid);
+        }
         for w in woken {
+            st.clock_acquire(w, cvid);
             st.threads[w].status = Status::Runnable;
             st.threads[w].notified = true;
         }
@@ -548,10 +651,24 @@ impl Ctx {
     /// Record the value the operation actually left in the atomic, so the
     /// next decision point's state signature hashes the true post-op value
     /// (an earlier version recorded a value predicted before the switch
-    /// point, which another thread's interleaving could make stale).
-    pub(crate) fn atomic_post(&self, oid: usize, value: u64) {
-        if let ObjState::Atomic { val } = &mut self.state().objects[oid] {
+    /// point, which another thread's interleaving could make stale), and
+    /// apply the happens-before edges the user's `Ordering` implies:
+    /// `acquire` joins the object clock into the thread, `release`
+    /// publishes the thread clock into the object. Running this after the
+    /// real operation is sound because the caller is the only runnable
+    /// thread between `atomic_pre` and its next scheduling point — which
+    /// also lets a CAS pick edges from its actual success/failure result.
+    pub(crate) fn atomic_post(&self, oid: usize, value: u64, acquire: bool, release: bool) {
+        let mut st = self.state();
+        if let ObjState::Atomic { val, .. } = &mut st.objects[oid] {
             *val = value;
+        }
+        let me = self.tid;
+        if acquire {
+            st.clock_acquire(me, oid);
+        }
+        if release {
+            st.clock_release(me, oid);
         }
     }
 
@@ -569,10 +686,14 @@ impl Ctx {
             self.fail(st, msg);
         }
         let tid = st.threads.len();
-        st.threads.push(ThreadRec {
-            status: Status::Runnable,
-            notified: false,
-        });
+        // The child inherits everything the parent did before the spawn
+        // (clock copied pre-bump), then both advance their own component
+        // so the parent's post-spawn work stays unordered with the child.
+        let mut child_clock = st.threads[self.tid].clock.clone();
+        child_clock.bump(tid);
+        let me = self.tid;
+        st.threads[me].clock.bump(me);
+        st.threads.push(ThreadRec::new(child_clock));
         tid
     }
 
@@ -596,6 +717,9 @@ impl Ctx {
             st = self.switch_point(st);
             debug_assert_eq!(st.threads[target].status, Status::Finished);
         }
+        // Join edge: the joiner inherits the target's entire history.
+        let target_clock = st.threads[target].clock.clone();
+        st.threads[me].clock.join(&target_clock);
     }
 
     /// Mark the calling model thread finished and schedule a successor.
@@ -646,7 +770,7 @@ impl Ctx {
         };
         let next = cands[idx];
         if let Status::Cv { cv, .. } = st.threads[next].status {
-            if let ObjState::Cv { waiters } = &mut st.objects[cv] {
+            if let ObjState::Cv { waiters, .. } = &mut st.objects[cv] {
                 waiters.retain(|&w| w != next);
             }
             st.threads[next].status = Status::Runnable;
@@ -655,6 +779,42 @@ impl Ctx {
         st.active = Some(next);
         drop(st);
         self.shared.cv.notify_all();
+    }
+
+    // ---- race-detector plumbing (see crate::race) -----------------------
+
+    /// Snapshot the caller for a tracked access; `None` while aborting
+    /// (the unwind is already racing through drop glue).
+    pub(crate) fn access_info(&self) -> Option<AccessInfo> {
+        let mut st = self.state();
+        if st.aborting {
+            return None;
+        }
+        st.ops += 1;
+        Some(AccessInfo {
+            tid: self.tid,
+            clock: st.threads[self.tid].clock.clone(),
+            schedule: st.schedule_so_far(),
+            op: st.ops,
+        })
+    }
+
+    /// Nonce distinguishing this execution from every other one, so
+    /// tracker state left over from a previous run is discarded.
+    pub(crate) fn run_tag(&self) -> u64 {
+        self.shared.nonce
+    }
+
+    /// The calling thread's current happens-before clock.
+    pub(crate) fn thread_clock(&self) -> VClock {
+        let st = self.state();
+        st.threads[self.tid].clock.clone()
+    }
+
+    /// Fail the run with a race report and unwind the calling thread.
+    pub(crate) fn race_fail(&self, msg: String) -> ! {
+        let st = self.state();
+        self.fail(st, msg);
     }
 }
 
@@ -753,11 +913,16 @@ pub struct Report {
     pub truncated: bool,
     /// The first failing schedule, if any.
     pub error: Option<CheckError>,
+    /// Lock-acquisition order observed across all explored executions,
+    /// with the first cycle found (a deadlock waiting for the right
+    /// schedule, even when no explored schedule deadlocks).
+    pub locks: LockOrder,
 }
 
 struct RunOut {
     decisions: Vec<Decision>,
     sigs: Vec<u64>,
+    lock_edges: BTreeMap<(usize, usize), Vec<usize>>,
     error: Option<String>,
 }
 
@@ -772,10 +937,14 @@ fn run_once(
     let nonce = RUN_NONCE.fetch_add(1, Ordering::Relaxed) + 1;
     let shared = Arc::new(SchedShared {
         state: StdMutex::new(SchedState {
-            threads: vec![ThreadRec {
-                status: Status::Runnable,
-                notified: false,
-            }],
+            threads: vec![ThreadRec::new({
+                // The main thread starts at epoch 1: a zero self-component
+                // would make its first accesses spuriously ordered before
+                // every other thread.
+                let mut clock = VClock::new();
+                clock.bump(0);
+                clock
+            })],
             objects: Vec::new(),
             active: Some(0),
             prefix,
@@ -784,6 +953,7 @@ fn run_once(
             ops: 0,
             sigs: Vec::new(),
             rng,
+            lock_edges: BTreeMap::new(),
             error: None,
             aborting: false,
             done: false,
@@ -812,6 +982,7 @@ fn run_once(
     RunOut {
         decisions: std::mem::take(&mut st.decisions),
         sigs: std::mem::take(&mut st.sigs),
+        lock_edges: std::mem::take(&mut st.lock_edges),
         error: st.error.take(),
     }
 }
@@ -821,12 +992,31 @@ pub(crate) fn explore(cfg: CheckConfig, f: Arc<dyn Fn() + Send + Sync>) -> Repor
     let mut interleavings = 0usize;
     let mut truncated = false;
     let mut error = None;
+    let mut lock_edges: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+    let mut cycle: Option<Vec<usize>> = None;
 
     let record_error = |out: &mut RunOut| {
         out.error.take().map(|message| CheckError {
             message,
             schedule: out.decisions.iter().map(|d| d.index as usize).collect(),
         })
+    };
+
+    // Merge one execution's lock edges into the union graph (first
+    // witness wins) and run the per-execution cycle check — that check
+    // only ever sees ids from a single execution, where they are
+    // consistent. Returns true when a cycle ends the search.
+    let record_locks = |out: &mut RunOut,
+                        union: &mut BTreeMap<(usize, usize), Vec<usize>>,
+                        cycle: &mut Option<Vec<usize>>| {
+        let run_pairs: Vec<(usize, usize)> = out.lock_edges.keys().copied().collect();
+        for (k, v) in std::mem::take(&mut out.lock_edges) {
+            union.entry(k).or_insert(v);
+        }
+        if cycle.is_none() {
+            *cycle = race::find_cycle(&run_pairs);
+        }
+        cycle.is_some()
     };
 
     match cfg.strategy {
@@ -845,6 +1035,9 @@ pub(crate) fn explore(cfg: CheckConfig, f: Arc<dyn Fn() + Send + Sync>) -> Repor
                     error = Some(e);
                     break;
                 }
+                if record_locks(&mut out, &mut lock_edges, &mut cycle) {
+                    break;
+                }
             }
             truncated = iterations > cfg.max_interleavings;
             interleavings = schedules.len();
@@ -857,6 +1050,9 @@ pub(crate) fn explore(cfg: CheckConfig, f: Arc<dyn Fn() + Send + Sync>) -> Repor
                 states.extend(out.sigs.iter().copied());
                 if let Some(e) = record_error(&mut out) {
                     error = Some(e);
+                    break;
+                }
+                if record_locks(&mut out, &mut lock_edges, &mut cycle) {
                     break;
                 }
                 if interleavings >= cfg.max_interleavings {
@@ -891,5 +1087,12 @@ pub(crate) fn explore(cfg: CheckConfig, f: Arc<dyn Fn() + Send + Sync>) -> Repor
         distinct_states: states.len(),
         truncated,
         error,
+        locks: LockOrder {
+            edges: lock_edges
+                .into_iter()
+                .map(|((from, to), schedule)| LockEdge { from, to, schedule })
+                .collect(),
+            cycle,
+        },
     }
 }

@@ -212,6 +212,45 @@ pub mod atomic {
     use crate::sched::{self, ObjCell};
     pub use std::sync::atomic::Ordering;
 
+    /// `(acquire, release)` happens-before edges a load with `order`
+    /// establishes. Under the model's sequentially-consistent exploration
+    /// a `SeqCst` access contributes the same edges as acquire/release —
+    /// the stronger total-order property is already given by the
+    /// serialized scheduler, so only the edge component matters for the
+    /// race detector.
+    fn load_edges(order: Ordering) -> (bool, bool) {
+        (!matches!(order, Ordering::Relaxed), false)
+    }
+
+    /// Edges a store with `order` establishes.
+    fn store_edges(order: Ordering) -> (bool, bool) {
+        (false, !matches!(order, Ordering::Relaxed))
+    }
+
+    /// Edges a read-modify-write with `order` establishes.
+    fn rmw_edges(order: Ordering) -> (bool, bool) {
+        (
+            matches!(
+                order,
+                Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+            ),
+            matches!(
+                order,
+                Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+            ),
+        )
+    }
+
+    /// Edges a compare-exchange establishes: the success ordering when it
+    /// took effect, the failure ordering (a pure load) when it did not.
+    fn cas_edges(success: Ordering, failure: Ordering, swapped: bool) -> (bool, bool) {
+        if swapped {
+            rmw_edges(success)
+        } else {
+            load_edges(failure)
+        }
+    }
+
     macro_rules! atomic_shim {
         ($name:ident, $std:ty, $prim:ty) => {
             /// Shimmed atomic; see [`crate::sync::atomic`] module docs.
@@ -234,17 +273,30 @@ pub mod atomic {
                 /// scheduling point *before* it, execute it while the
                 /// caller is the only runnable thread, then record the
                 /// actual post-op value into the scheduler's state (used
-                /// for state signatures). Recording after the op — rather
-                /// than predicting the result before the switch point —
-                /// keeps the recorded value correct even when another
-                /// thread interleaves at the scheduling point.
-                fn shim_op<R>(&self, op: impl FnOnce() -> R) -> R {
+                /// for state signatures) together with the happens-before
+                /// edges `edges(&result)` says the access establishes.
+                /// Recording after the op — rather than predicting the
+                /// result before the switch point — keeps the recorded
+                /// value correct even when another thread interleaves at
+                /// the scheduling point, and lets a compare-exchange pick
+                /// its edges from the actual success/failure outcome.
+                fn shim_op<R>(
+                    &self,
+                    op: impl FnOnce() -> R,
+                    edges: impl FnOnce(&R) -> (bool, bool),
+                ) -> R {
                     match sched::current() {
                         Some(ctx) => {
+                            // ORDERING: model-internal snapshot feeding the
+                            // state signature, not synchronization — the
+                            // scheduler serializes all threads here anyway.
                             let oid =
                                 ctx.atomic_pre(&self.obj, self.inner.load(Ordering::SeqCst) as u64);
                             let out = op();
-                            ctx.atomic_post(oid, self.inner.load(Ordering::SeqCst) as u64);
+                            let (acquire, release) = edges(&out);
+                            // ORDERING: same model-internal snapshot as above.
+                            let post = self.inner.load(Ordering::SeqCst) as u64;
+                            ctx.atomic_post(oid, post, acquire, release);
                             out
                         }
                         None => op(),
@@ -253,17 +305,17 @@ pub mod atomic {
 
                 /// Load the current value.
                 pub fn load(&self, order: Ordering) -> $prim {
-                    self.shim_op(|| self.inner.load(order))
+                    self.shim_op(|| self.inner.load(order), |_| load_edges(order))
                 }
 
                 /// Store a new value.
                 pub fn store(&self, val: $prim, order: Ordering) {
-                    self.shim_op(|| self.inner.store(val, order))
+                    self.shim_op(|| self.inner.store(val, order), |_| store_edges(order))
                 }
 
                 /// Swap in a new value, returning the previous one.
                 pub fn swap(&self, val: $prim, order: Ordering) -> $prim {
-                    self.shim_op(|| self.inner.swap(val, order))
+                    self.shim_op(|| self.inner.swap(val, order), |_| rmw_edges(order))
                 }
 
                 /// Consume the atomic, returning the inner value.
@@ -292,12 +344,12 @@ pub mod atomic {
             impl $name {
                 /// Add, returning the previous value.
                 pub fn fetch_add(&self, val: $prim, order: Ordering) -> $prim {
-                    self.shim_op(|| self.inner.fetch_add(val, order))
+                    self.shim_op(|| self.inner.fetch_add(val, order), |_| rmw_edges(order))
                 }
 
                 /// Subtract, returning the previous value.
                 pub fn fetch_sub(&self, val: $prim, order: Ordering) -> $prim {
-                    self.shim_op(|| self.inner.fetch_sub(val, order))
+                    self.shim_op(|| self.inner.fetch_sub(val, order), |_| rmw_edges(order))
                 }
 
                 /// Compare-and-exchange; `Ok(previous)` on success.
@@ -308,7 +360,10 @@ pub mod atomic {
                     success: Ordering,
                     failure: Ordering,
                 ) -> Result<$prim, $prim> {
-                    self.shim_op(|| self.inner.compare_exchange(current, new, success, failure))
+                    self.shim_op(
+                        || self.inner.compare_exchange(current, new, success, failure),
+                        |r| cas_edges(success, failure, r.is_ok()),
+                    )
                 }
 
                 /// Weak compare-and-exchange (may fail spuriously on real
@@ -320,10 +375,13 @@ pub mod atomic {
                     success: Ordering,
                     failure: Ordering,
                 ) -> Result<$prim, $prim> {
-                    self.shim_op(|| {
-                        self.inner
-                            .compare_exchange_weak(current, new, success, failure)
-                    })
+                    self.shim_op(
+                        || {
+                            self.inner
+                                .compare_exchange_weak(current, new, success, failure)
+                        },
+                        |r| cas_edges(success, failure, r.is_ok()),
+                    )
                 }
             }
         };
@@ -336,7 +394,7 @@ pub mod atomic {
     impl AtomicBool {
         /// Logical-or, returning the previous value.
         pub fn fetch_or(&self, val: bool, order: Ordering) -> bool {
-            self.shim_op(|| self.inner.fetch_or(val, order))
+            self.shim_op(|| self.inner.fetch_or(val, order), |_| rmw_edges(order))
         }
     }
 }

@@ -1,5 +1,11 @@
 //! Thread shims: `spawn`/`join`/`yield_now` that register with the model
 //! scheduler inside a run and degrade to `std::thread` outside one.
+//!
+//! Spawn and join are also happens-before edges for the vector-clock
+//! race detector (see [`crate::race`]): a child inherits everything its
+//! parent did before the spawn, and a joiner inherits the joined
+//! thread's entire history — matching the guarantees `std::thread`
+//! documents for real threads.
 
 use crate::sched;
 use std::sync::{Arc, Mutex as StdMutex};

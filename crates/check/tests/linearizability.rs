@@ -106,6 +106,7 @@ fn random_deque_histories_are_linearizable() {
             },
         );
         assert!(report.error.is_none(), "seed {seed}: {report:?}");
+        assert!(report.locks.is_acyclic(), "seed {seed}: {report:?}");
         assert!(report.interleavings >= 2, "seed {seed}: {report:?}");
     }
 }
@@ -188,6 +189,7 @@ fn random_channel_histories_are_linearizable() {
             },
         );
         assert!(report.error.is_none(), "seed {seed}: {report:?}");
+        assert!(report.locks.is_acyclic(), "seed {seed}: {report:?}");
         assert!(report.interleavings >= 2, "seed {seed}: {report:?}");
     }
 }

@@ -58,6 +58,7 @@ fn per_shard_arena_merges_commute() {
         },
     );
     assert!(report.error.is_none(), "{report:?}");
+    assert!(report.locks.is_acyclic(), "{report:?}");
     assert!(report.interleavings >= 2, "{report:?}");
 }
 
@@ -95,6 +96,7 @@ fn concurrent_hashed_lookups_are_exact() {
         },
     );
     assert!(report.error.is_none(), "{report:?}");
+    assert!(report.locks.is_acyclic(), "{report:?}");
 }
 
 /// Racing sorted walks on one shared arena, racing the `OnceLock` index
@@ -125,4 +127,5 @@ fn racing_sorted_walks_agree() {
         }
     });
     assert!(report.error.is_none(), "{report:?}");
+    assert!(report.locks.is_acyclic(), "{report:?}");
 }

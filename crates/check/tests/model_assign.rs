@@ -86,6 +86,7 @@ fn chunk_disjoint_writes_are_exact_in_all_interleavings() {
         },
     );
     assert!(report.error.is_none(), "{report:?}");
+    assert!(report.locks.is_acyclic(), "{report:?}");
     assert!(report.interleavings >= 2, "{report:?}");
 }
 
@@ -118,6 +119,7 @@ fn same_chunk_contention_serializes_without_lost_updates() {
         assert_eq!(state.assign, vec![1, 2]);
     });
     assert!(report.error.is_none(), "{report:?}");
+    assert!(report.locks.is_acyclic(), "{report:?}");
     assert!(report.interleavings >= 2, "{report:?}");
 }
 

@@ -28,6 +28,7 @@ fn receiver_drop_unblocks_full_channel_sender() {
         );
     });
     assert!(report.error.is_none(), "{report:?}");
+    assert!(report.locks.is_acyclic(), "{report:?}");
     assert!(report.interleavings >= 2, "{report:?}");
 }
 
@@ -46,6 +47,7 @@ fn sender_drop_unblocks_empty_channel_receiver() {
         assert_eq!(result, Err(RecvError), "blocked recv must fail, not hang");
     });
     assert!(report.error.is_none(), "{report:?}");
+    assert!(report.locks.is_acyclic(), "{report:?}");
     assert!(report.interleavings >= 2, "{report:?}");
 }
 
@@ -66,6 +68,7 @@ fn queued_values_survive_sender_drop() {
         producer.join().unwrap();
     });
     assert!(report.error.is_none(), "{report:?}");
+    assert!(report.locks.is_acyclic(), "{report:?}");
 }
 
 /// Full-capacity handshake: cap-1 channel forces send/recv to strictly
@@ -86,6 +89,7 @@ fn capacity_one_handshake_preserves_order() {
         producer.join().unwrap();
     });
     assert!(report.error.is_none(), "{report:?}");
+    assert!(report.locks.is_acyclic(), "{report:?}");
     assert!(report.interleavings >= 2, "{report:?}");
 }
 
@@ -111,4 +115,5 @@ fn competing_senders_deliver_exactly_once() {
         },
     );
     assert!(report.error.is_none(), "{report:?}");
+    assert!(report.locks.is_acyclic(), "{report:?}");
 }

@@ -39,6 +39,7 @@ fn steal_vs_pop_every_item_claimed_exactly_once() {
         },
     );
     assert!(report.error.is_none(), "{report:?}");
+    assert!(report.locks.is_acyclic(), "{report:?}");
     assert!(
         report.interleavings >= 1000,
         "coverage floor: expected >= 1000 distinct interleavings, got {} \
@@ -90,6 +91,7 @@ fn owner_pops_lifo_stealer_takes_fifo() {
         }
     });
     assert!(report.error.is_none(), "{report:?}");
+    assert!(report.locks.is_acyclic(), "{report:?}");
 }
 
 /// Injector `steal_batch_and_pop` races a direct injector steal: the
@@ -118,4 +120,5 @@ fn injector_batch_move_races_single_steal() {
         assert_eq!(got, [1, 2, 3, 4], "batch move + steal must partition");
     });
     assert!(report.error.is_none(), "{report:?}");
+    assert!(report.locks.is_acyclic(), "{report:?}");
 }

@@ -43,6 +43,7 @@ fn concurrent_lookups_never_lose_a_count() {
         },
     );
     assert!(report.error.is_none(), "{report:?}");
+    assert!(report.locks.is_acyclic(), "{report:?}");
     assert!(report.interleavings >= 2, "{report:?}");
 }
 
@@ -77,4 +78,5 @@ fn parallel_build_then_merge_is_exact() {
         assert_eq!(inserts, 4, "merge must absorb insert counts exactly once");
     });
     assert!(report.error.is_none(), "{report:?}");
+    assert!(report.locks.is_acyclic(), "{report:?}");
 }

@@ -100,6 +100,7 @@ fn concurrent_emitters_conserve_records_across_a_racing_drain() {
         }
     });
     assert!(report.error.is_none(), "{report:?}");
+    assert!(report.locks.is_acyclic(), "{report:?}");
     assert!(report.interleavings >= 2, "{report:?}");
 }
 
@@ -109,8 +110,9 @@ fn concurrent_emitters_conserve_records_across_a_racing_drain() {
 /// state is observable.
 #[test]
 fn late_registration_is_all_or_nothing() {
+    type SharedBuf = Arc<check::sync::Mutex<Vec<u64>>>;
     let report = check::model(|| {
-        let registry: Arc<check::sync::Mutex<Vec<Arc<check::sync::Mutex<Vec<u64>>>>>> =
+        let registry: Arc<check::sync::Mutex<Vec<SharedBuf>>> =
             Arc::new(check::sync::Mutex::new(Vec::new()));
 
         let writer = {
@@ -144,5 +146,6 @@ fn late_registration_is_all_or_nothing() {
         assert_eq!(all, vec![7, 8], "registration must be all-or-nothing");
     });
     assert!(report.error.is_none(), "{report:?}");
+    assert!(report.locks.is_acyclic(), "{report:?}");
     assert!(report.interleavings >= 2, "{report:?}");
 }

@@ -36,6 +36,7 @@ fn out_of_order_producers_deliver_in_sequence_order() {
         assert_eq!(rx.recv(), Err(RecvError), "close ends the stream");
     });
     assert!(report.error.is_none(), "{report:?}");
+    assert!(report.locks.is_acyclic(), "{report:?}");
     assert!(report.interleavings >= 2, "{report:?}");
 }
 
@@ -60,6 +61,7 @@ fn backpressured_pushes_drain_in_order() {
         producer.join().unwrap();
     });
     assert!(report.error.is_none(), "{report:?}");
+    assert!(report.locks.is_acyclic(), "{report:?}");
     assert!(report.interleavings >= 2, "{report:?}");
 }
 
@@ -87,6 +89,7 @@ fn receiver_drop_unblocks_a_parked_push() {
         assert_eq!(seq.push(2, 2), Err(Disconnected), "sequencer stays dead");
     });
     assert!(report.error.is_none(), "{report:?}");
+    assert!(report.locks.is_acyclic(), "{report:?}");
     assert!(report.interleavings >= 2, "{report:?}");
 }
 
@@ -109,6 +112,7 @@ fn close_unblocks_a_parked_consumer() {
         );
     });
     assert!(report.error.is_none(), "{report:?}");
+    assert!(report.locks.is_acyclic(), "{report:?}");
     assert!(report.interleavings >= 2, "{report:?}");
 }
 
@@ -153,4 +157,5 @@ fn striped_producers_preserve_global_order() {
         },
     );
     assert!(report.error.is_none(), "{report:?}");
+    assert!(report.locks.is_acyclic(), "{report:?}");
 }

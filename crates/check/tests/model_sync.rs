@@ -139,6 +139,7 @@ fn predicate_loop_under_lock_is_sound() {
         setter.join().unwrap();
     });
     assert!(report.error.is_none(), "{report:?}");
+    assert!(report.locks.is_acyclic(), "{report:?}");
     assert!(report.interleavings >= 2, "{report:?}");
 }
 
@@ -215,4 +216,5 @@ fn notify_all_with_mixed_predicates_is_sound() {
         tb.join().unwrap();
     });
     assert!(report.error.is_none(), "{report:?}");
+    assert!(report.locks.is_acyclic(), "{report:?}");
 }

@@ -78,7 +78,7 @@ pub struct ArenaStats {
 }
 
 /// Open-addressing dictionary over an append-only string arena.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct ArenaDict {
     slots: Vec<Slot>,
     arena: Vec<u8>,
@@ -90,6 +90,24 @@ pub struct ArenaDict {
     /// Occupied slot indices in ascending key order, built on first
     /// `for_each_sorted` and dropped by any insert or growth.
     sorted: OnceLock<Vec<u32>>,
+    /// Race-detector hook for the merge path (the only place an
+    /// `ArenaDict` crosses threads in the scatter/merge pattern).
+    track: crate::atomic::tracked::Track,
+}
+
+impl Default for ArenaDict {
+    fn default() -> Self {
+        ArenaDict {
+            slots: Vec::new(),
+            arena: Vec::new(),
+            len: 0,
+            shift: 0,
+            probe_steps: 0,
+            rehashes: 0,
+            sorted: OnceLock::new(),
+            track: crate::atomic::tracked::Track::new("dict::arena::ArenaDict"),
+        }
+    }
 }
 
 impl ArenaDict {
@@ -275,6 +293,8 @@ impl ArenaDict {
     /// insert each entry with its stored hash — key bytes are compared
     /// only on probe collision and copied only for genuinely new keys.
     pub fn merge_from(&mut self, other: &ArenaDict) {
+        self.track.on_write();
+        other.track.on_read();
         if other.len == 0 {
             return;
         }

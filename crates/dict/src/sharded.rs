@@ -9,7 +9,7 @@
 //! challenges" the paper's conclusion gestures at (structures whose best
 //! configuration depends on the degree of parallelism).
 
-use crate::atomic::{AtomicU64, Ordering::Relaxed};
+use crate::atomic::{tracked, AtomicU64, Ordering::Relaxed};
 use crate::{hash_word, AnyDict, DictKind, Dictionary};
 use std::hash::{Hash, Hasher};
 
@@ -31,10 +31,18 @@ impl Clone for ShardStats {
 }
 
 /// A dictionary split into `S` independent shards by word hash.
+///
+/// The embedded tracker feeds the `hpa-check` vector-clock race detector:
+/// mutations (`add*`/`insert*`/`merge*`) record a write, lookups a read,
+/// so a model run proves every cross-thread handoff of a dictionary (the
+/// scatter/merge pattern in `model_dict.rs`) is ordered by spawn/join or
+/// channel edges. Inert outside model checking; `Clone` starts a fresh
+/// tracker, matching the fresh ownership of the cloned data.
 #[derive(Debug, Clone)]
 pub struct ShardedDict {
     shards: Vec<AnyDict>,
     stats: Vec<ShardStats>,
+    track: tracked::Track,
 }
 
 /// Which shard of `shards` the word routes to. A single shard needs no
@@ -65,6 +73,7 @@ impl ShardedDict {
         ShardedDict {
             shards: (0..shards).map(|_| kind.new_dict()).collect(),
             stats: (0..shards).map(|_| ShardStats::default()).collect(),
+            track: tracked::Track::new("dict::sharded::ShardedDict"),
         }
     }
 
@@ -97,6 +106,8 @@ impl ShardedDict {
             "shard counts must match"
         );
         let _span = hpa_trace::span!("dict", "merge", self.shards.len() as u64);
+        self.track.on_write();
+        other.track.on_read();
         for (a, b) in self.shards.iter_mut().zip(&other.shards) {
             a.merge_from(b);
         }
@@ -107,6 +118,8 @@ impl ShardedDict {
     /// parallel merging.
     pub fn merge_shard_from(&mut self, s: usize, other: &ShardedDict) {
         let _span = hpa_trace::span!("dict", "merge-shard", s as u64);
+        self.track.on_write();
+        other.track.on_read();
         self.shards[s].merge_from(&other.shards[s]);
         self.stats[s]
             .inserts
@@ -140,6 +153,7 @@ impl ShardedDict {
 
 impl Dictionary for ShardedDict {
     fn add(&mut self, word: &str, delta: u64) -> u64 {
+        self.track.on_write();
         // With one shard the hash would route nowhere; let the backend
         // hash (or not) as it pleases. With several, hash once and hand
         // the value to both the router and the shard's table.
@@ -151,12 +165,14 @@ impl Dictionary for ShardedDict {
     }
 
     fn add_hashed(&mut self, hash: u64, word: &str, delta: u64) -> u64 {
+        self.track.on_write();
         let s = shard_from_hash(hash, self.shards.len());
         self.stats[s].inserts.fetch_add(1, Relaxed);
         self.shards[s].add_hashed(hash, word, delta)
     }
 
     fn insert(&mut self, word: &str, value: u64) {
+        self.track.on_write();
         if self.shards.len() == 1 {
             self.stats[0].inserts.fetch_add(1, Relaxed);
             return self.shards[0].insert(word, value);
@@ -165,12 +181,14 @@ impl Dictionary for ShardedDict {
     }
 
     fn insert_hashed(&mut self, hash: u64, word: &str, value: u64) {
+        self.track.on_write();
         let s = shard_from_hash(hash, self.shards.len());
         self.stats[s].inserts.fetch_add(1, Relaxed);
         self.shards[s].insert_hashed(hash, word, value);
     }
 
     fn get(&self, word: &str) -> Option<u64> {
+        self.track.on_read();
         if self.shards.len() == 1 {
             self.stats[0].lookups.fetch_add(1, Relaxed);
             return self.shards[0].get(word);
@@ -179,12 +197,14 @@ impl Dictionary for ShardedDict {
     }
 
     fn get_hashed(&self, hash: u64, word: &str) -> Option<u64> {
+        self.track.on_read();
         let s = shard_from_hash(hash, self.shards.len());
         self.stats[s].lookups.fetch_add(1, Relaxed);
         self.shards[s].get_hashed(hash, word)
     }
 
     fn len(&self) -> usize {
+        self.track.on_read();
         self.shards.iter().map(|s| s.len()).sum()
     }
 
@@ -203,6 +223,7 @@ impl Dictionary for ShardedDict {
     }
 
     fn for_each(&self, f: &mut dyn FnMut(&str, u64)) {
+        self.track.on_read();
         for s in &self.shards {
             s.for_each(f);
         }

@@ -14,9 +14,12 @@
 //! the `model-check` feature every deque operation becomes a scheduling
 //! point of the `hpa-check` model checker; the steal-vs-pop races
 //! (including the len==1 endgame) are exhaustively explored in
-//! `crates/check/tests/model_deque.rs`.
+//! `crates/check/tests/model_deque.rs`. Each queue also carries a
+//! [`tracked::Track`] hook fired inside the critical section, so the
+//! vector-clock race detector confirms every owner/thief access pair is
+//! ordered by the queue's own lock.
 
-use crate::sync::Mutex;
+use crate::sync::{tracked, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -24,6 +27,7 @@ use std::sync::Arc;
 #[derive(Debug, Default)]
 pub struct Injector<T> {
     queue: Mutex<VecDeque<T>>,
+    track: tracked::Track,
 }
 
 impl<T> Injector<T> {
@@ -31,17 +35,22 @@ impl<T> Injector<T> {
     pub fn new() -> Self {
         Injector {
             queue: Mutex::new(VecDeque::new()),
+            track: tracked::Track::new("exec::deque::Injector"),
         }
     }
 
     /// Enqueue a task (FIFO order).
     pub fn push(&self, task: T) {
-        self.queue.lock().push_back(task);
+        let mut q = self.queue.lock();
+        self.track.on_write();
+        q.push_back(task);
     }
 
     /// Dequeue the oldest task, if any.
     pub fn steal(&self) -> Option<T> {
-        self.queue.lock().pop_front()
+        let mut q = self.queue.lock();
+        self.track.on_write();
+        q.pop_front()
     }
 
     /// Dequeue the oldest task and move up to half of the remaining queue
@@ -49,10 +58,12 @@ impl<T> Injector<T> {
     /// `crossbeam`'s `steal_batch_and_pop` does.
     pub fn steal_batch_and_pop(&self, local: &Worker<T>) -> Option<T> {
         let mut q = self.queue.lock();
+        self.track.on_write();
         let first = q.pop_front()?;
         let grab = (q.len() / 2).min(16);
         if grab > 0 {
-            let mut l = local.shared.lock();
+            let mut l = local.shared.queue.lock();
+            local.shared.track.on_write();
             for _ in 0..grab {
                 match q.pop_front() {
                     Some(t) => l.push_back(t),
@@ -65,37 +76,56 @@ impl<T> Injector<T> {
 
     /// Number of queued tasks (racy snapshot; for metrics only).
     pub fn len(&self) -> usize {
-        self.queue.lock().len()
+        let q = self.queue.lock();
+        self.track.on_read();
+        q.len()
     }
 
     /// True when no tasks are queued (racy snapshot).
     pub fn is_empty(&self) -> bool {
-        self.queue.lock().is_empty()
+        let q = self.queue.lock();
+        self.track.on_read();
+        q.is_empty()
     }
+}
+
+/// One worker deque's shared state: the queue plus its race-detector
+/// hook, behind one `Arc` shared by the owner and every stealer.
+#[derive(Debug)]
+struct DequeShared<T> {
+    queue: Mutex<VecDeque<T>>,
+    track: tracked::Track,
 }
 
 /// The owning end of one worker's deque: LIFO push/pop.
 #[derive(Debug)]
 pub struct Worker<T> {
-    shared: Arc<Mutex<VecDeque<T>>>,
+    shared: Arc<DequeShared<T>>,
 }
 
 impl<T> Worker<T> {
     /// New empty worker deque (LIFO for the owner).
     pub fn new_lifo() -> Self {
         Worker {
-            shared: Arc::new(Mutex::new(VecDeque::new())),
+            shared: Arc::new(DequeShared {
+                queue: Mutex::new(VecDeque::new()),
+                track: tracked::Track::new("exec::deque::Worker"),
+            }),
         }
     }
 
     /// Push a task onto the owner's end.
     pub fn push(&self, task: T) {
-        self.shared.lock().push_back(task);
+        let mut q = self.shared.queue.lock();
+        self.shared.track.on_write();
+        q.push_back(task);
     }
 
     /// Pop the most recently pushed task (LIFO).
     pub fn pop(&self) -> Option<T> {
-        self.shared.lock().pop_back()
+        let mut q = self.shared.queue.lock();
+        self.shared.track.on_write();
+        q.pop_back()
     }
 
     /// A stealing handle onto this deque.
@@ -109,13 +139,15 @@ impl<T> Worker<T> {
 /// The thieving end of a worker's deque: FIFO steal.
 #[derive(Debug, Clone)]
 pub struct Stealer<T> {
-    shared: Arc<Mutex<VecDeque<T>>>,
+    shared: Arc<DequeShared<T>>,
 }
 
 impl<T> Stealer<T> {
     /// Steal the oldest task (FIFO — the opposite end from the owner).
     pub fn steal(&self) -> Option<T> {
-        self.shared.lock().pop_front()
+        let mut q = self.shared.queue.lock();
+        self.shared.track.on_write();
+        q.pop_front()
     }
 }
 

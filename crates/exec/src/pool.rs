@@ -27,7 +27,7 @@
 //! available programmatically through [`WorkStealingPool::worker_stats`].
 
 use crate::deque::{Injector, Stealer, Worker as Deque};
-use crate::sync::{Condvar, Counter, Mutex};
+use crate::sync::{tracked, Condvar, Counter, Mutex};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -59,6 +59,10 @@ impl Latch {
     }
 
     fn count_down(&self) {
+        // ORDERING: AcqRel — Release publishes this task's writes to
+        // whoever observes the counter reach zero, and Acquire makes the
+        // final decrementer see every earlier task's effects before it
+        // notifies the waiter.
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             let _guard = self.mutex.lock();
             self.cv.notify_all();
@@ -66,6 +70,8 @@ impl Latch {
     }
 
     fn done(&self) -> bool {
+        // ORDERING: pairs with the AcqRel `fetch_sub` in `count_down`;
+        // observing zero must also acquire every finished task's writes.
         self.remaining.load(Ordering::Acquire) == 0
     }
 }
@@ -79,6 +85,13 @@ enum Source {
 }
 
 /// Per-worker counters, updated by the worker, readable by anyone.
+///
+/// The tracker records the worker's writes; the `worker_stats` snapshot
+/// read is deliberately *not* hooked because it is racy by design
+/// (relaxed totals, no ordering claimed). The pool always runs on real
+/// OS threads (never under `hpa_check::model()`), so the hooks are inert
+/// at runtime; they exist so a future modeled harness would verify the
+/// single-writer discipline for free.
 #[derive(Default)]
 struct Stats {
     tasks: Counter,
@@ -86,6 +99,7 @@ struct Stats {
     injector_pops: Counter,
     steals: Counter,
     park_ns: Counter,
+    track: tracked::Track,
 }
 
 /// A point-in-time snapshot of one worker's statistics.
@@ -232,6 +246,9 @@ impl WorkStealingPool {
             self.shared.injector.push(Box::new(move || {
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
                 if result.is_err() {
+                    // ORDERING: pairs with the Acquire load after the
+                    // batch drains — the submitter must see the flag once
+                    // the latch reaches zero.
                     latch.panicked.store(true, Ordering::Release);
                 }
                 latch.count_down();
@@ -262,6 +279,8 @@ impl WorkStealingPool {
             }
         }
 
+        // ORDERING: pairs with the Release store in the panic handler
+        // above; `latch.done()` already ordered the tasks' normal writes.
         if latch.panicked.load(Ordering::Acquire) {
             panic!("a task in the parallel batch panicked");
         }
@@ -289,6 +308,7 @@ fn worker_loop(shared: Arc<Shared>, local: Deque<Task>, index: usize) {
     let mut emitted_tasks = 0u64;
     loop {
         if let Some((task, source)) = shared.find_task(Some(&local)) {
+            stats.track.on_write();
             match source {
                 Source::Local => stats.local_pops.add(1),
                 Source::Injector => stats.injector_pops.add(1),
@@ -309,6 +329,8 @@ fn worker_loop(shared: Arc<Shared>, local: Deque<Task>, index: usize) {
             }
             continue;
         }
+        // ORDERING: pairs with the Release store in `Drop`, so a worker
+        // that sees shutdown also sees everything the dropping thread did.
         if shared.shutdown.load(Ordering::Acquire) {
             break;
         }
@@ -327,6 +349,8 @@ fn worker_loop(shared: Arc<Shared>, local: Deque<Task>, index: usize) {
             let mut guard = shared.idle_mutex.lock();
             // Re-check under the lock so a wake between the failed find and
             // this wait is not lost entirely (bounded by the timeout anyway).
+            // ORDERING: pairs with the Release store in `Drop`, same as
+            // the pre-park check above.
             if shared.shutdown.load(Ordering::Acquire) {
                 break;
             }
@@ -334,6 +358,7 @@ fn worker_loop(shared: Arc<Shared>, local: Deque<Task>, index: usize) {
                 .idle_cv
                 .wait_for(&mut guard, std::time::Duration::from_millis(5));
         }
+        stats.track.on_write();
         stats
             .park_ns
             .add(parked.elapsed().as_nanos().min(u64::MAX as u128) as u64);
@@ -342,6 +367,8 @@ fn worker_loop(shared: Arc<Shared>, local: Deque<Task>, index: usize) {
 
 impl Drop for WorkStealingPool {
     fn drop(&mut self) {
+        // ORDERING: pairs with the workers' Acquire loads of `shutdown`;
+        // Release makes the pool's final state visible to exiting workers.
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.wake_all();
         for h in self.handles.drain(..) {

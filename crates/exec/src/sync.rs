@@ -129,6 +129,53 @@ mod imp {
     }
 }
 
+/// Race-detector hook facade: real vector-clock trackers under model
+/// checking, inert zero-sized stubs otherwise.
+///
+/// Substrate structures embed a [`tracked::Track`] next to the state it
+/// guards and call `on_read`/`on_write` from **inside** the owning
+/// critical section (after `.lock()`), so the tracker observes the same
+/// happens-before edges the lock provides. In release builds the calls
+/// compile to nothing.
+pub mod tracked {
+    #[cfg(any(hpa_check, feature = "model-check"))]
+    pub use hpa_check::race::Track;
+
+    #[cfg(not(any(hpa_check, feature = "model-check")))]
+    pub use inert::Track;
+
+    #[cfg(not(any(hpa_check, feature = "model-check")))]
+    mod inert {
+        /// Release-build stand-in for `hpa_check::race::Track`: all hooks
+        /// are empty inline functions the optimizer removes.
+        #[derive(Clone, Default)]
+        pub struct Track;
+
+        impl Track {
+            /// Create a tracker for the named state (the name only
+            /// matters under model checking; kept for API parity).
+            #[must_use]
+            pub const fn new(_name: &'static str) -> Self {
+                Track
+            }
+
+            /// Record a logical read of the tracked state (no-op).
+            #[inline(always)]
+            pub fn on_read(&self) {}
+
+            /// Record a logical write of the tracked state (no-op).
+            #[inline(always)]
+            pub fn on_write(&self) {}
+        }
+
+        impl std::fmt::Debug for Track {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("Track")
+            }
+        }
+    }
+}
+
 /// Shared monotonically-increasing counter (convenience for stats that
 /// several threads bump and one thread reads). Built over the facade
 /// atomics so it participates in model checking too.

@@ -13,7 +13,7 @@
 //! close-while-blocked directions — in
 //! `crates/check/tests/model_channel.rs`.
 
-use hpa_exec::sync::{Condvar, Mutex};
+use hpa_exec::sync::{tracked, Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -36,6 +36,10 @@ struct State<T> {
 struct Inner<T> {
     cap: usize,
     state: Mutex<State<T>>,
+    /// Race-detector hook for `state`, fired inside the lock; under the
+    /// model checker this proves every queue/refcount access pair is
+    /// ordered by the mutex.
+    track: tracked::Track,
     not_full: Condvar,
     not_empty: Condvar,
 }
@@ -55,6 +59,7 @@ pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
             senders: 1,
             rx_alive: true,
         }),
+        track: tracked::Track::new("io::channel::Inner"),
         not_full: Condvar::new(),
         not_empty: Condvar::new(),
     });
@@ -71,6 +76,7 @@ impl<T> Sender<T> {
                 return Err(SendError(value));
             }
             if st.queue.len() < self.0.cap {
+                self.0.track.on_write();
                 st.queue.push_back(value);
                 self.0.not_empty.notify_one();
                 return Ok(());
@@ -82,7 +88,10 @@ impl<T> Sender<T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        self.0.state.lock().senders += 1;
+        let mut st = self.0.state.lock();
+        self.0.track.on_write();
+        st.senders += 1;
+        drop(st);
         Sender(Arc::clone(&self.0))
     }
 }
@@ -90,6 +99,7 @@ impl<T> Clone for Sender<T> {
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
         let mut st = self.0.state.lock();
+        self.0.track.on_write();
         st.senders -= 1;
         if st.senders == 0 {
             drop(st);
@@ -104,6 +114,7 @@ impl<T> Receiver<T> {
     pub fn recv(&self) -> Result<T, RecvError> {
         let mut st = self.0.state.lock();
         loop {
+            self.0.track.on_write();
             if let Some(v) = st.queue.pop_front() {
                 self.0.not_full.notify_one();
                 return Ok(v);
@@ -119,6 +130,7 @@ impl<T> Receiver<T> {
     /// (regardless of sender liveness).
     pub fn try_recv(&self) -> Option<T> {
         let mut st = self.0.state.lock();
+        self.0.track.on_write();
         let v = st.queue.pop_front();
         if v.is_some() {
             self.0.not_full.notify_one();
@@ -128,7 +140,9 @@ impl<T> Receiver<T> {
 
     /// Queued values right now (racy snapshot; for metrics only).
     pub fn len(&self) -> usize {
-        self.0.state.lock().queue.len()
+        let st = self.0.state.lock();
+        self.0.track.on_read();
+        st.queue.len()
     }
 
     /// True when the queue is currently empty (racy snapshot).
@@ -139,7 +153,10 @@ impl<T> Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        self.0.state.lock().rx_alive = false;
+        let mut st = self.0.state.lock();
+        self.0.track.on_write();
+        st.rx_alive = false;
+        drop(st);
         self.0.not_full.notify_all();
     }
 }

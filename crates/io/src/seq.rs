@@ -18,7 +18,7 @@
 //! `crates/check/tests/model_seq.rs`.
 
 use crate::channel::Sender;
-use hpa_exec::sync::Mutex;
+use hpa_exec::sync::{tracked, Mutex};
 use std::collections::BTreeMap;
 
 /// The receiving side of the channel disappeared: the consumer is gone
@@ -39,6 +39,8 @@ struct SeqState<T> {
 /// Order-restoring adapter in front of a bounded [`Sender`].
 pub struct Sequencer<T> {
     state: Mutex<SeqState<T>>,
+    /// Race-detector hook for `state`, fired inside the lock.
+    track: tracked::Track,
 }
 
 impl<T> Sequencer<T> {
@@ -50,6 +52,7 @@ impl<T> Sequencer<T> {
                 next: 0,
                 pending: BTreeMap::new(),
             }),
+            track: tracked::Track::new("io::seq::Sequencer"),
         }
     }
 
@@ -60,6 +63,7 @@ impl<T> Sequencer<T> {
     /// dropped, and every later push fails immediately.
     pub fn push(&self, seq: u64, value: T) -> Result<(), Disconnected> {
         let mut st = self.state.lock();
+        self.track.on_write();
         if st.tx.is_none() {
             return Err(Disconnected);
         }
@@ -92,18 +96,23 @@ impl<T> Sequencer<T> {
     /// unless a producer failed mid-stream) are discarded.
     pub fn close(&self) {
         let mut st = self.state.lock();
+        self.track.on_write();
         st.tx = None;
         st.pending.clear();
     }
 
     /// Values parked waiting for their turn (racy snapshot; metrics only).
     pub fn parked(&self) -> usize {
-        self.state.lock().pending.len()
+        let st = self.state.lock();
+        self.track.on_read();
+        st.pending.len()
     }
 
     /// Sequence number the channel is owed next (racy snapshot).
     pub fn next_seq(&self) -> u64 {
-        self.state.lock().next
+        let st = self.state.lock();
+        self.track.on_read();
+        st.next
     }
 }
 
