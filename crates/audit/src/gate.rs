@@ -21,10 +21,11 @@ use std::path::Path;
 pub const DEFAULT_TOLERANCE: f64 = 1.5;
 
 /// The artifacts the gate knows how to compare.
-pub const GATED_FILES: [&str; 3] = [
+pub const GATED_FILES: [&str; 4] = [
     "BENCH_kmeans_assign.json",
     "BENCH_arff_pipeline.json",
     "BENCH_dict_arena.json",
+    "BENCH_colfmt.json",
 ];
 
 /// Outcome of one check.
@@ -237,6 +238,11 @@ pub fn compare_artifact(
             gate_speedup(report, file, base, fresh, "tfidf_output_speedup", tolerance);
         }
         "dict_arena" => gate_auto_picks(report, file, base, fresh),
+        "colfmt" => {
+            gate_speedup(report, file, base, fresh, "colfmt_write_speedup", tolerance);
+            gate_speedup(report, file, base, fresh, "colfmt_read_speedup", tolerance);
+            gate_ceiling(report, file, base, fresh, "discrete_over_fused", tolerance);
+        }
         other => {
             report.push(
                 file,
@@ -280,6 +286,44 @@ fn gate_speedup(
         key,
         status,
         format!("baseline {b:.4}x, fresh {f:.4}x, floor {floor:.4}x (tolerance {tolerance}x)"),
+    );
+}
+
+/// One-sided slowdown-ratio gate (lower is better): fresh may rise to
+/// `baseline * tolerance` before failing. Used for ratios like the
+/// binary discrete workflow's overhead over fused, where a *growing*
+/// value means the optimization stopped paying off.
+fn gate_ceiling(
+    report: &mut GateReport,
+    file: &str,
+    base: &JsonValue,
+    fresh: &JsonValue,
+    key: &str,
+    tolerance: f64,
+) {
+    let (Some(b), Some(f)) = (
+        base.get(key).and_then(JsonValue::as_f64),
+        fresh.get(key).and_then(JsonValue::as_f64),
+    ) else {
+        report.push(
+            file,
+            key,
+            GateStatus::Fail,
+            "metric missing on one side".into(),
+        );
+        return;
+    };
+    let ceiling = b * tolerance;
+    let status = if f <= ceiling {
+        GateStatus::Pass
+    } else {
+        GateStatus::Fail
+    };
+    report.push(
+        file,
+        key,
+        status,
+        format!("baseline {b:.4}, fresh {f:.4}, ceiling {ceiling:.4} (tolerance {tolerance}x)"),
     );
 }
 
@@ -396,6 +440,15 @@ mod tests {
         .unwrap()
     }
 
+    fn colfmt_doc(write: f64, read: f64, over_fused: f64) -> JsonValue {
+        JsonValue::parse(&format!(
+            r#"{{"schema_version": 1, "bench": "colfmt",
+                 "colfmt_write_speedup": {write}, "colfmt_read_speedup": {read},
+                 "discrete_over_fused": {over_fused}}}"#
+        ))
+        .unwrap()
+    }
+
     fn dict_doc(pick: &str) -> JsonValue {
         JsonValue::parse(&format!(
             r#"{{"schema_version": 1, "bench": "dict_arena",
@@ -426,6 +479,68 @@ mod tests {
             "d.json",
             &dict_doc("arena"),
             &dict_doc("arena"),
+            1.5,
+        );
+        compare_artifact(
+            &mut report,
+            "c.json",
+            &colfmt_doc(3.9, 10.7, 1.04),
+            &colfmt_doc(3.9, 10.7, 1.04),
+            1.5,
+        );
+        assert!(!report.failed(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn colfmt_speedup_regression_fails() {
+        // Halving both speedups is past the 1.5× floor on each.
+        let mut report = GateReport::default();
+        compare_artifact(
+            &mut report,
+            "c.json",
+            &colfmt_doc(3.9, 10.7, 1.04),
+            &colfmt_doc(1.95, 5.35, 1.04),
+            1.5,
+        );
+        assert_eq!(
+            report
+                .checks
+                .iter()
+                .filter(|c| c.status == GateStatus::Fail)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn colfmt_overhead_growth_fails_the_ceiling() {
+        // discrete_over_fused is a ratio where *up* is bad: the binary
+        // discrete workflow drifting from 1.04× to 2× of fused means the
+        // format stopped hiding the I/O, even if the speedups held.
+        let mut report = GateReport::default();
+        compare_artifact(
+            &mut report,
+            "c.json",
+            &colfmt_doc(3.9, 10.7, 1.04),
+            &colfmt_doc(3.9, 10.7, 2.0),
+            1.5,
+        );
+        assert!(report.failed());
+        let failing: Vec<_> = report
+            .checks
+            .iter()
+            .filter(|c| c.status == GateStatus::Fail)
+            .collect();
+        assert_eq!(failing.len(), 1);
+        assert_eq!(failing[0].what, "discrete_over_fused");
+        assert!(failing[0].detail.contains("ceiling"));
+        // Shrinking overhead (an improvement) passes.
+        let mut report = GateReport::default();
+        compare_artifact(
+            &mut report,
+            "c.json",
+            &colfmt_doc(3.9, 10.7, 1.04),
+            &colfmt_doc(3.9, 10.7, 1.0),
             1.5,
         );
         assert!(!report.failed(), "{}", report.to_text());

@@ -1,0 +1,119 @@
+//! LEB128 variable-length integers — the wire form for row lengths and
+//! delta-compressed term ids.
+//!
+//! Standard unsigned LEB128: seven payload bits per byte, low group
+//! first, high bit set on every byte except the last. Small values —
+//! the common case for term-id gaps in a Zipfian vocabulary — take one
+//! byte; `u64::MAX` takes ten. The decoder is strict: it rejects
+//! streams that run out mid-value, values wider than 64 bits, and
+//! non-canonical encodings (a redundant trailing `0x80 0x00`-style
+//! continuation), so every encodable value has exactly one wire form
+//! and byte-determinism holds in both directions.
+
+/// Maximum encoded length of a `u64` (⌈64 / 7⌉ bytes).
+pub const MAX_LEN: usize = 10;
+
+/// Append the LEB128 encoding of `v` to `out`.
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode one LEB128 value from the front of `bytes`, returning the
+/// value and the number of bytes consumed. `None` on truncation,
+/// overflow past 64 bits, or a non-canonical encoding.
+pub fn read_u64(bytes: &[u8]) -> Option<(u64, usize)> {
+    let mut value: u64 = 0;
+    for (i, &byte) in bytes.iter().enumerate().take(MAX_LEN) {
+        let group = (byte & 0x7f) as u64;
+        if i == MAX_LEN - 1 && byte > 0x01 {
+            // Tenth byte may only carry the 64th bit (and no
+            // continuation): anything else overflows u64.
+            return None;
+        }
+        value |= group << (7 * i);
+        if byte & 0x80 == 0 {
+            if i > 0 && byte == 0 {
+                // Trailing zero group: `value` has a shorter encoding,
+                // so this stream is non-canonical.
+                return None;
+            }
+            return Some((value, i + 1));
+        }
+    }
+    // Ran out of input mid-value (or an 11th continuation byte).
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: u64) -> usize {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v);
+        let (back, used) = read_u64(&buf).expect("canonical encoding decodes");
+        assert_eq!(back, v);
+        assert_eq!(used, buf.len(), "decoder consumes exactly what we wrote");
+        buf.len()
+    }
+
+    #[test]
+    fn boundary_values_round_trip_at_expected_widths() {
+        assert_eq!(round_trip(0), 1);
+        assert_eq!(round_trip(127), 1);
+        assert_eq!(round_trip(128), 2);
+        assert_eq!(round_trip(16_383), 2);
+        assert_eq!(round_trip(16_384), 3);
+        assert_eq!(round_trip(u32::MAX as u64), 5);
+        assert_eq!(round_trip(u64::MAX), MAX_LEN);
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 300);
+        assert!(read_u64(&buf[..1]).is_none(), "continuation bit dangling");
+        assert!(read_u64(&[]).is_none());
+    }
+
+    #[test]
+    fn overflow_is_rejected() {
+        // Eleven continuation bytes: wider than any u64.
+        let buf = [0x80u8; 11];
+        assert!(read_u64(&buf).is_none());
+        // Ten bytes but the last group carries more than the 64th bit.
+        let mut buf = vec![0x80u8; 9];
+        buf.push(0x02);
+        assert!(read_u64(&buf).is_none());
+        // u64::MAX itself is fine.
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        assert_eq!(read_u64(&buf), Some((u64::MAX, MAX_LEN)));
+    }
+
+    #[test]
+    fn non_canonical_padding_is_rejected() {
+        // 0x80 0x00 encodes zero with a redundant continuation byte.
+        assert!(read_u64(&[0x80, 0x00]).is_none());
+        // The canonical form decodes.
+        assert_eq!(read_u64(&[0x00]), Some((0, 1)));
+    }
+
+    #[test]
+    fn decoder_only_consumes_its_own_bytes() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 624_485);
+        buf.extend_from_slice(&[0xff, 0xff]); // trailing garbage
+        let (v, used) = read_u64(&buf).unwrap();
+        assert_eq!(v, 624_485);
+        assert_eq!(used, 3);
+    }
+}

@@ -1,0 +1,152 @@
+//! Fault injection against whole files on disk: a corrupted
+//! intermediate must surface a clean error naming the chunk it died in
+//! — never a panic, never a silently wrong matrix. Exercises both read
+//! paths (streaming `ColReader` and the slurp-and-index table used by
+//! the parallel reader).
+
+use hpa_colfmt::{decode_chunk, index_chunks, ColFmtError, ColReader, ColWriter};
+use hpa_sparse::SparseVec;
+
+/// A three-chunk sample file and the rows it encodes.
+fn sample() -> (Vec<SparseVec>, Vec<u8>) {
+    let docs: Vec<SparseVec> = (0..10u32)
+        .map(|i| {
+            if i % 4 == 3 {
+                SparseVec::new()
+            } else {
+                SparseVec::from_sorted(vec![
+                    (i, 0.25 * i as f64),
+                    (i + 5, -1.5),
+                    (i + 40, 1e-200 * (i + 1) as f64),
+                ])
+            }
+        })
+        .collect();
+    let mut w = ColWriter::new(Vec::new(), docs.len() as u64, 64, 4).unwrap();
+    for chunk in docs.chunks(4) {
+        w.write_chunk(chunk).unwrap();
+    }
+    (docs.clone(), w.finish().unwrap())
+}
+
+/// Run both read paths over `bytes`; they must agree that the file is
+/// corrupt, and both error strings must satisfy `check`.
+fn both_paths_reject(bytes: &[u8], check: impl Fn(&str)) {
+    let streaming = ColReader::new(bytes).and_then(|r| r.read_all());
+    match streaming {
+        Ok(_) => panic!("streaming reader accepted a corrupt file"),
+        Err(e) => check(&e.to_string()),
+    }
+    let parallel = index_chunks(bytes).and_then(|(header, table)| {
+        let mut all = Vec::new();
+        for (i, (ch, range)) in table.iter().enumerate() {
+            all.extend(decode_chunk(
+                ch,
+                &bytes[range.clone()],
+                header.dim,
+                i as u64,
+            )?);
+        }
+        Ok(all)
+    });
+    match parallel {
+        Ok(_) => panic!("indexed reader accepted a corrupt file"),
+        Err(e) => check(&e.to_string()),
+    }
+}
+
+#[test]
+fn pristine_file_reads_back_on_both_paths() {
+    let (docs, bytes) = sample();
+    assert_eq!(
+        ColReader::new(&bytes[..]).unwrap().read_all().unwrap(),
+        docs
+    );
+    let (header, table) = index_chunks(&bytes).unwrap();
+    let mut all = Vec::new();
+    for (i, (ch, range)) in table.iter().enumerate() {
+        all.extend(decode_chunk(ch, &bytes[range.clone()], header.dim, i as u64).unwrap());
+    }
+    assert_eq!(all, docs);
+}
+
+#[test]
+fn truncated_file_names_the_cut_chunk() {
+    let (_, bytes) = sample();
+    // A sweep of truncation points: every prefix must be rejected
+    // cleanly (the file is only ~700 bytes, so try them all).
+    for cut in 0..bytes.len() {
+        let prefix = &bytes[..cut];
+        both_paths_reject(prefix, |msg| {
+            assert!(
+                msg.contains("truncated") || msg.contains("shorter than"),
+                "cut at {cut}: unexpected message {msg}"
+            );
+        });
+    }
+}
+
+#[test]
+fn bit_flip_in_any_payload_is_a_checksum_mismatch() {
+    let (_, bytes) = sample();
+    let (_, table) = index_chunks(&bytes).unwrap();
+    for (i, (_, range)) in table.iter().enumerate() {
+        // Flip one bit in the middle of each chunk's payload.
+        let target = range.start + (range.end - range.start) / 2;
+        let mut bad = bytes.clone();
+        bad[target] ^= 0x10;
+        both_paths_reject(&bad, |msg| {
+            assert!(
+                msg.contains(&format!("chunk {i}")),
+                "flip in chunk {i}: message does not name it: {msg}"
+            );
+            assert!(msg.contains("checksum mismatch"), "{msg}");
+        });
+    }
+}
+
+#[test]
+fn bad_magic_is_rejected_before_any_payload_work() {
+    let (_, mut bytes) = sample();
+    bytes[0] = b'Z';
+    both_paths_reject(&bytes, |msg| {
+        assert!(msg.contains("bad magic"), "{msg}");
+        assert!(msg.contains("file header"), "{msg}");
+    });
+}
+
+#[test]
+fn future_version_is_rejected_with_the_version_number() {
+    let (_, mut bytes) = sample();
+    bytes[4] = 2;
+    bytes[5] = 0;
+    both_paths_reject(&bytes, |msg| {
+        assert!(msg.contains("unsupported version 2"), "{msg}");
+    });
+}
+
+#[test]
+fn header_lying_about_row_count_is_caught() {
+    let (_, mut bytes) = sample();
+    // num_docs lives at bytes 8..16; claim one extra row.
+    bytes[8..16].copy_from_slice(&11u64.to_le_bytes());
+    both_paths_reject(&bytes, |msg| {
+        assert!(
+            msg.contains("promises 11") || msg.contains("promises"),
+            "{msg}"
+        );
+    });
+}
+
+#[test]
+fn errors_are_std_error_with_io_source_preserved() {
+    // `ColFmtError` must behave like an io::Error for callers: Display,
+    // std::error::Error, and a preserved source for the Io variant.
+    let io = ColFmtError::from(std::io::Error::other("sink broke"));
+    let dynamic: &dyn std::error::Error = &io;
+    assert!(dynamic.source().is_some());
+    assert!(dynamic.to_string().contains("sink broke"));
+    let corrupt = ColFmtError::corrupt(3, "checksum mismatch");
+    let dynamic: &dyn std::error::Error = &corrupt;
+    assert!(dynamic.source().is_none());
+}

@@ -1,0 +1,115 @@
+//! Property-based round-trip suite for the varint/delta codec and the
+//! chunk encoder, with proptest shrinking.
+//!
+//! Gated behind the non-default `proptest` feature because the
+//! `proptest` crate is an external dependency and the workspace must
+//! build offline (see the workspace Cargo.toml). The always-on
+//! SplitMix64 suite in `roundtrip.rs` covers the same ground without
+//! shrinking.
+#![cfg(feature = "proptest")]
+
+use hpa_colfmt::{decode_chunk, varint, ChunkHeader, ColReader, ColWriter};
+use hpa_sparse::SparseVec;
+use proptest::prelude::*;
+
+/// Weights that stress the f64 lattice without NaN (ARFF text cannot
+/// round-trip NaN, and TF/IDF never produces it): denormals, negative
+/// zero, huge magnitudes, exact zero.
+fn weight() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0f64),
+        Just(-0.0f64),
+        Just(f64::MIN_POSITIVE),
+        Just(5e-324), // smallest denormal
+        Just(f64::MAX),
+        any::<f64>().prop_filter("NaN-free", |w| !w.is_nan()),
+        -1e3..1e3f64,
+    ]
+}
+
+/// A random sparse row over `dim` terms, possibly empty, ids up to
+/// `u32::MAX` when the dimension allows.
+fn row(dim: u32) -> impl Strategy<Value = SparseVec> {
+    prop::collection::btree_map(0..dim, weight(), 0..24)
+        .prop_map(|m| SparseVec::from_sorted(m.into_iter().collect()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn varint_round_trips_any_u64(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, v);
+        prop_assert!(buf.len() <= varint::MAX_LEN);
+        let (back, used) = varint::read_u64(&buf).expect("canonical");
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn varint_decoder_never_panics_on_junk(bytes in prop::collection::vec(any::<u8>(), 0..12)) {
+        // Any outcome is fine; panicking is not.
+        let _ = varint::read_u64(&bytes);
+    }
+
+    #[test]
+    fn chunk_round_trips_bit_exactly(
+        docs in prop::collection::vec(row(u32::MAX), 0..12),
+    ) {
+        let dim = u32::MAX as u64 + 1;
+        let mut block = Vec::new();
+        hpa_colfmt::encode_chunk(&docs, 0, &mut block);
+        let header = ChunkHeader::decode(
+            &block[..hpa_colfmt::CHUNK_HEADER_LEN].try_into().unwrap(),
+        );
+        let back = decode_chunk(&header, &block[hpa_colfmt::CHUNK_HEADER_LEN..], dim, 0)
+            .expect("own encoding decodes");
+        prop_assert_eq!(docs.len(), back.len());
+        for (a, b) in docs.iter().zip(&back) {
+            prop_assert_eq!(a.terms(), b.terms());
+            let ab: Vec<u64> = a.weights().iter().map(|w| w.to_bits()).collect();
+            let bb: Vec<u64> = b.weights().iter().map(|w| w.to_bits()).collect();
+            prop_assert_eq!(ab, bb);
+        }
+    }
+
+    #[test]
+    fn whole_file_round_trips_through_any_chunking(
+        docs in prop::collection::vec(row(50_000), 0..40),
+        chunk_rows in 1usize..10,
+    ) {
+        let mut w = ColWriter::new(Vec::new(), docs.len() as u64, 50_000, chunk_rows).unwrap();
+        for chunk in docs.chunks(chunk_rows) {
+            w.write_chunk(chunk).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let back = ColReader::new(&bytes[..]).unwrap().read_all().unwrap();
+        prop_assert_eq!(docs, back);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_mutated_files(
+        docs in prop::collection::vec(row(1000), 1..8),
+        byte_index in any::<prop::sample::Index>(),
+        mask in 1u8..=255,
+    ) {
+        let mut w = ColWriter::new(Vec::new(), docs.len() as u64, 1000, 3).unwrap();
+        for chunk in docs.chunks(3) {
+            w.write_chunk(chunk).unwrap();
+        }
+        let mut bytes = w.finish().unwrap();
+        let i = byte_index.index(bytes.len());
+        bytes[i] ^= mask;
+        // Must return, not panic; Ok is only legal if the data is intact.
+        if let Ok(r) = ColReader::new(&bytes[..]) {
+            if let Ok(back) = r.read_all() {
+                for (a, b) in docs.iter().zip(&back) {
+                    let ab: Vec<u64> = a.weights().iter().map(|w| w.to_bits()).collect();
+                    let bb: Vec<u64> = b.weights().iter().map(|w| w.to_bits()).collect();
+                    prop_assert_eq!(ab, bb, "mutation produced silently wrong data");
+                }
+            }
+        }
+    }
+}

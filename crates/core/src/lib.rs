@@ -30,6 +30,7 @@ pub use operator::{Operator, OperatorCtx};
 pub use pipeline::TrainedPipeline;
 
 use hpa_arff::ArffError;
+use hpa_colfmt::ColFmtError;
 use hpa_corpus::Corpus;
 use hpa_exec::Exec;
 use hpa_kmeans::KMeansConfig;
@@ -105,11 +106,39 @@ pub enum DiscreteIo {
     Serial,
 }
 
+/// On-disk encoding of the discrete intermediate — the planner's other
+/// I/O knob, orthogonal to [`DiscreteIo`]'s schedule choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntermediateFormat {
+    /// Text ARFF (WEKA's format), as the paper measured it — the
+    /// paper-fidelity default. Every weight round-trips through decimal
+    /// formatting and byte-by-byte parsing.
+    #[default]
+    Arff,
+    /// Chunk-aligned binary sparse columnar format (`hpa_colfmt`):
+    /// delta+varint term ids, raw little-endian `f64` weights,
+    /// checksummed self-contained chunks. Same matrix bits, a fraction
+    /// of the bytes and the CPU.
+    Binary,
+}
+
+impl IntermediateFormat {
+    /// File extension of the intermediate this format writes.
+    pub fn extension(self) -> &'static str {
+        match self {
+            IntermediateFormat::Arff => "arff",
+            IntermediateFormat::Binary => "hpac",
+        }
+    }
+}
+
 /// Errors a workflow run can surface.
 #[derive(Debug)]
 pub enum WorkflowError {
     /// ARFF encode/decode failure on the intermediate.
     Arff(ArffError),
+    /// Binary colfmt encode/decode failure on the intermediate.
+    ColFmt(ColFmtError),
     /// Filesystem failure around the intermediate or output files.
     Io(std::io::Error),
 }
@@ -118,6 +147,7 @@ impl std::fmt::Display for WorkflowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WorkflowError::Arff(e) => write!(f, "workflow arff error: {e}"),
+            WorkflowError::ColFmt(e) => write!(f, "workflow intermediate error: {e}"),
             WorkflowError::Io(e) => write!(f, "workflow i/o error: {e}"),
         }
     }
@@ -128,6 +158,12 @@ impl std::error::Error for WorkflowError {}
 impl From<ArffError> for WorkflowError {
     fn from(e: ArffError) -> Self {
         WorkflowError::Arff(e)
+    }
+}
+
+impl From<ColFmtError> for WorkflowError {
+    fn from(e: ColFmtError) -> Self {
+        WorkflowError::ColFmt(e)
     }
 }
 
@@ -161,6 +197,7 @@ pub struct WorkflowBuilder {
     tfidf: TfIdfConfig,
     kmeans: KMeansConfig,
     discrete_io: DiscreteIo,
+    intermediate_format: IntermediateFormat,
 }
 
 impl WorkflowBuilder {
@@ -187,12 +224,20 @@ impl WorkflowBuilder {
         self
     }
 
+    /// Set the on-disk encoding of the discrete intermediate (default:
+    /// ARFF, for paper fidelity).
+    pub fn intermediate_format(mut self, format: IntermediateFormat) -> Self {
+        self.intermediate_format = format;
+        self
+    }
+
     fn build(self, strategy: Strategy) -> Workflow {
         Workflow {
             tfidf: self.tfidf,
             kmeans: self.kmeans,
             strategy,
             discrete_io: self.discrete_io,
+            intermediate_format: self.intermediate_format,
         }
     }
 
@@ -223,8 +268,10 @@ pub struct Workflow {
     pub kmeans: KMeansConfig,
     /// Composition strategy.
     pub strategy: Strategy,
-    /// ARFF round-trip mode for the discrete strategy.
+    /// Intermediate round-trip schedule for the discrete strategy.
     pub discrete_io: DiscreteIo,
+    /// On-disk encoding of the discrete intermediate.
+    pub intermediate_format: IntermediateFormat,
 }
 
 impl Workflow {
@@ -259,7 +306,7 @@ impl Workflow {
                 // concurrent runs — even over the same corpus — never
                 // collide on the intermediate.
                 let run_id = DISCRETE_RUN.fetch_add(1, Ordering::Relaxed);
-                let file_name = format!("tfidf_{run_id}.arff");
+                let file_name = format!("tfidf_{run_id}.{}", self.intermediate_format.extension());
                 let (dir, owned_dir) = match dir {
                     Some(d) => (d.clone(), None),
                     None => {
@@ -288,12 +335,18 @@ impl Workflow {
                 let span = hpa_trace::span!("phase", "tfidf-output");
                 let t0 = ctx.exec.now();
                 let file = std::io::BufWriter::new(std::fs::File::create(&path)?);
-                match self.discrete_io {
-                    DiscreteIo::Pipelined => {
+                match (self.intermediate_format, self.discrete_io) {
+                    (IntermediateFormat::Arff, DiscreteIo::Pipelined) => {
                         hpa_tfidf::write_arff_overlapped(ctx.exec, &model, file)?;
                     }
-                    DiscreteIo::Serial => {
+                    (IntermediateFormat::Arff, DiscreteIo::Serial) => {
                         hpa_tfidf::write_arff(ctx.exec, &model, file)?;
+                    }
+                    (IntermediateFormat::Binary, DiscreteIo::Pipelined) => {
+                        hpa_tfidf::write_colfmt_overlapped(ctx.exec, &model, file)?;
+                    }
+                    (IntermediateFormat::Binary, DiscreteIo::Serial) => {
+                        hpa_tfidf::write_colfmt(ctx.exec, &model, file)?;
                     }
                 }
                 ctx.timer.record("tfidf-output", ctx.exec.now() - t0);
@@ -307,9 +360,19 @@ impl Workflow {
                 let span = hpa_trace::span!("phase", "kmeans-input");
                 let t0 = ctx.exec.now();
                 let file = std::io::BufReader::new(std::fs::File::open(&path)?);
-                let (vectors, dim) = match self.discrete_io {
-                    DiscreteIo::Pipelined => hpa_tfidf::read_arff_parallel(ctx.exec, file)?,
-                    DiscreteIo::Serial => hpa_tfidf::read_arff(ctx.exec, file)?,
+                let (vectors, dim) = match (self.intermediate_format, self.discrete_io) {
+                    (IntermediateFormat::Arff, DiscreteIo::Pipelined) => {
+                        hpa_tfidf::read_arff_parallel(ctx.exec, file)?
+                    }
+                    (IntermediateFormat::Arff, DiscreteIo::Serial) => {
+                        hpa_tfidf::read_arff(ctx.exec, file)?
+                    }
+                    (IntermediateFormat::Binary, DiscreteIo::Pipelined) => {
+                        hpa_tfidf::read_colfmt_parallel(ctx.exec, file)?
+                    }
+                    (IntermediateFormat::Binary, DiscreteIo::Serial) => {
+                        hpa_tfidf::read_colfmt(ctx.exec, file)?
+                    }
                 };
                 ctx.timer.record("kmeans-input", ctx.exec.now() - t0);
                 drop(span);
@@ -544,6 +607,126 @@ mod tests {
             assert_eq!(serial.dim, pipelined.dim);
             assert!((serial.inertia - pipelined.inertia).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn binary_discrete_matches_fused_bit_for_bit() {
+        // The binary intermediate stores raw f64 bits, so the clustering
+        // must match the fused run exactly — not just within tolerance.
+        let corpus = small_corpus();
+        for exec in [Exec::sequential(), Exec::pool(3)] {
+            let fused = builder().fused().run(&corpus, &exec).unwrap();
+            let binary = builder()
+                .intermediate_format(IntermediateFormat::Binary)
+                .discrete()
+                .run(&corpus, &exec)
+                .unwrap();
+            assert_eq!(fused.assignments, binary.assignments);
+            assert_eq!(fused.dim, binary.dim);
+            assert_eq!(fused.inertia.to_bits(), binary.inertia.to_bits());
+            assert_eq!(fused.iterations, binary.iterations);
+        }
+    }
+
+    #[test]
+    fn binary_serial_and_pipelined_io_agree() {
+        let corpus = small_corpus();
+        for exec in [Exec::sequential(), Exec::pool(3)] {
+            let serial = builder()
+                .intermediate_format(IntermediateFormat::Binary)
+                .discrete_io(DiscreteIo::Serial)
+                .discrete()
+                .run(&corpus, &exec)
+                .unwrap();
+            let pipelined = builder()
+                .intermediate_format(IntermediateFormat::Binary)
+                .discrete_io(DiscreteIo::Pipelined)
+                .discrete()
+                .run(&corpus, &exec)
+                .unwrap();
+            assert_eq!(serial.assignments, pipelined.assignments);
+            assert_eq!(serial.dim, pipelined.dim);
+            assert_eq!(serial.inertia.to_bits(), pipelined.inertia.to_bits());
+        }
+    }
+
+    #[test]
+    fn binary_discrete_run_cleans_up_its_intermediate() {
+        let corpus = named_corpus("binclean");
+        let out = builder()
+            .intermediate_format(IntermediateFormat::Binary)
+            .discrete()
+            .run(&corpus, &Exec::sequential())
+            .unwrap();
+        assert_eq!(out.assignments.len(), corpus.len());
+        assert!(leftover_intermediates("binclean").is_empty());
+    }
+
+    #[test]
+    fn failed_binary_run_leaves_no_intermediates() {
+        let corpus = named_corpus("binguard");
+        fault::arm_fail_before_read();
+        let err = builder()
+            .intermediate_format(IntermediateFormat::Binary)
+            .discrete()
+            .run(&corpus, &Exec::sequential())
+            .unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        assert!(leftover_intermediates("binguard").is_empty());
+    }
+
+    #[test]
+    fn binary_discrete_records_the_same_phase_labels() {
+        let exec = Exec::sequential();
+        let corpus = small_corpus();
+        let out = builder()
+            .intermediate_format(IntermediateFormat::Binary)
+            .discrete()
+            .run(&corpus, &exec)
+            .unwrap();
+        assert_eq!(
+            out.phases.labels(),
+            vec![
+                "input+wc",
+                "transform",
+                "tfidf-output",
+                "kmeans-input",
+                "kmeans",
+                "output"
+            ]
+        );
+    }
+
+    #[test]
+    fn simulated_binary_intermediate_is_cheaper_than_arff() {
+        // The cost model's side of the headline claim: under simulation
+        // the binary round-trip charges less I/O time than the pipelined
+        // ARFF one, on the same corpus and thread count.
+        let corpus = small_corpus();
+        let machine = hpa_exec::MachineModel::default();
+        let io_time = |fmt: IntermediateFormat| {
+            let exec = Exec::simulated(4, machine);
+            let out = builder()
+                .intermediate_format(fmt)
+                .discrete()
+                .run(&corpus, &exec)
+                .unwrap();
+            out.phases.get("tfidf-output").unwrap() + out.phases.get("kmeans-input").unwrap()
+        };
+        let arff = io_time(IntermediateFormat::Arff);
+        let binary = io_time(IntermediateFormat::Binary);
+        assert!(
+            binary * 2 <= arff,
+            "binary intermediate {binary:?} not ≥2× cheaper than ARFF {arff:?}"
+        );
+    }
+
+    #[test]
+    fn colfmt_workflow_error_names_the_format() {
+        let err = WorkflowError::from(hpa_colfmt::ColFmtError::corrupt(3, "checksum mismatch"));
+        let text = err.to_string();
+        assert!(text.contains("workflow intermediate error"), "{text}");
+        assert!(text.contains("chunk 3"), "{text}");
     }
 
     #[test]

@@ -254,6 +254,152 @@ pub fn arff_parse_chunk_cost(bytes: u64) -> TaskCost {
     }
 }
 
+/// Binary colfmt bytes per sparse entry: ~2 bytes of delta-varint term
+/// id plus the raw 8-byte little-endian weight — 10 bytes against
+/// ARFF's ~22 bytes of `"{i w,...}"` text. The byte shrink *and* the
+/// cheaper per-byte work below are what kill the "ARFF tax".
+pub const COLFMT_BYTES_PER_ENTRY: u64 = 10;
+
+/// Encoding share of [`COLFMT_WRITE_NS_PER_BYTE`]: delta+varint packing
+/// of term ids, the raw weight memcpy, and the FNV checksum pass — the
+/// parallel stage of the pipelined binary writer. Far below ARFF's
+/// [`FORMAT_CPU_NS_PER_BYTE`] because there is no ftoa: a weight is an
+/// 8-byte copy, not a 17-significant-digit decimal rendering.
+pub const COLFMT_ENCODE_NS_PER_BYTE: f64 = 0.35;
+
+/// Drain share of the binary write cost: the same single ordered
+/// page-cache copy as [`DRAIN_CPU_NS_PER_BYTE`] — memcpy does not care
+/// what the bytes mean.
+pub const COLFMT_DRAIN_NS_PER_BYTE: f64 = 0.2;
+
+/// Serial binary writer rate: encode + drain, asserted to sum exactly
+/// (mirroring the ARFF invariant) so pipelined and serial runs charge
+/// identical total work.
+pub const COLFMT_WRITE_NS_PER_BYTE: f64 = 0.55;
+
+/// FNV-1a checksum verification rate on the read side (one multiply +
+/// xor per byte).
+pub const COLFMT_CHECKSUM_NS_PER_BYTE: f64 = 0.3;
+
+/// Per-entry decode cost: two varint reads (row bookkeeping amortized),
+/// a bounds check, and an 8-byte weight copy — against ARFF's ~220 ns
+/// iostream-class float parse.
+pub const COLFMT_DECODE_NS_PER_ENTRY: f64 = 16.0;
+
+/// Encoded size of one chunk block (header + payload) for `rows`:
+/// 40-byte chunk header, ~1 varint byte per row length, and
+/// [`COLFMT_BYTES_PER_ENTRY`] per entry.
+pub fn colfmt_chunk_bytes(rows: &[hpa_sparse::SparseVec]) -> u64 {
+    let nnz: u64 = rows.iter().map(|r| r.nnz() as u64).sum();
+    hpa_colfmt::CHUNK_HEADER_LEN as u64 + rows.len() as u64 + nnz * COLFMT_BYTES_PER_ENTRY
+}
+
+/// Estimated size of a whole colfmt file over `rows` at the default
+/// chunk grain.
+pub fn colfmt_file_bytes(rows: &[hpa_sparse::SparseVec]) -> u64 {
+    let chunks = rows.len().div_ceil(hpa_colfmt::DEFAULT_CHUNK_ROWS) as u64;
+    let nnz: u64 = rows.iter().map(|r| r.nnz() as u64).sum();
+    hpa_colfmt::FILE_HEADER_LEN as u64
+        + chunks * hpa_colfmt::CHUNK_HEADER_LEN as u64
+        + rows.len() as u64
+        + nnz * COLFMT_BYTES_PER_ENTRY
+}
+
+/// Pre-run estimate of the *serial* colfmt writer: the whole file at
+/// the serial write rate. Unlike [`arff_write_estimate`] there is no
+/// per-dimension term, because the binary header is 32 fixed bytes —
+/// ARFF spends ~25 text bytes per vocabulary word before the first row.
+pub fn colfmt_write_estimate(rows: &[hpa_sparse::SparseVec]) -> TaskCost {
+    let bytes = colfmt_file_bytes(rows);
+    TaskCost {
+        cpu_ns: (bytes as f64 * COLFMT_WRITE_NS_PER_BYTE) as u64,
+        mem_bytes: bytes * 2,
+        ..Default::default()
+    }
+}
+
+/// Cost of encoding one chunk of sparse rows into an in-memory block
+/// (the parallel stage of the pipelined binary writer).
+pub fn colfmt_encode_chunk_cost(rows: &[hpa_sparse::SparseVec]) -> TaskCost {
+    let bytes = colfmt_chunk_bytes(rows);
+    TaskCost {
+        cpu_ns: (bytes as f64 * COLFMT_ENCODE_NS_PER_BYTE) as u64,
+        mem_bytes: bytes,
+        ..Default::default()
+    }
+}
+
+/// Cost of the binary writer's drain stage: one ordered page-cache copy
+/// of `bytes` of encoded blocks (no `io_write_bytes`, same buffered-
+/// write policy as [`arff_drain_cost`]).
+pub fn colfmt_drain_cost(bytes: u64) -> TaskCost {
+    TaskCost {
+        cpu_ns: (bytes as f64 * COLFMT_DRAIN_NS_PER_BYTE) as u64,
+        mem_bytes: bytes * 2,
+        ..Default::default()
+    }
+}
+
+/// Cost of writing the fixed 32-byte binary file header (the serial
+/// prefix of the pipelined writer). A constant — compare
+/// [`arff_header_cost`], which scales with the vocabulary.
+pub fn colfmt_header_cost() -> TaskCost {
+    TaskCost {
+        cpu_ns: 100,
+        mem_bytes: 64,
+        ..Default::default()
+    }
+}
+
+/// Cost of slurping the binary intermediate into memory (page-cache
+/// warm, like [`arff_slurp_cost`] — the file was written moments
+/// earlier by the same workflow).
+pub fn colfmt_slurp_cost(bytes: u64) -> TaskCost {
+    TaskCost {
+        cpu_ns: (bytes as f64 * READ_CPU_NS_PER_BYTE) as u64,
+        mem_bytes: bytes,
+        ..Default::default()
+    }
+}
+
+/// Cost of walking the chunk table of a slurped file: fixed headers
+/// only, no payload bytes touched.
+pub fn colfmt_index_cost(chunks: u64) -> TaskCost {
+    TaskCost {
+        cpu_ns: 100 + chunks * 25,
+        mem_bytes: chunks * 56,
+        ..Default::default()
+    }
+}
+
+/// Cost of verifying and decoding one chunk of `bytes` (the parallel
+/// stage of the binary reader): a checksum pass over the block plus
+/// per-entry varint/copy work, with the entry count estimated by
+/// inverting [`COLFMT_BYTES_PER_ENTRY`].
+pub fn colfmt_decode_chunk_cost(bytes: u64) -> TaskCost {
+    let nnz = bytes.saturating_sub(hpa_colfmt::CHUNK_HEADER_LEN as u64) / COLFMT_BYTES_PER_ENTRY;
+    TaskCost {
+        cpu_ns: (bytes as f64 * COLFMT_CHECKSUM_NS_PER_BYTE
+            + nnz as f64 * COLFMT_DECODE_NS_PER_ENTRY) as u64,
+        mem_bytes: bytes + nnz * 12,
+        ..Default::default()
+    }
+}
+
+/// Cost of the serial streaming binary read (rows already materialized,
+/// post-hoc like [`arff_read_cost`]): one read + checksum pass over the
+/// file bytes plus per-entry decode work.
+pub fn colfmt_read_cost(rows: &[hpa_sparse::SparseVec]) -> TaskCost {
+    let bytes = colfmt_file_bytes(rows);
+    let nnz: u64 = rows.iter().map(|r| r.nnz() as u64).sum();
+    TaskCost {
+        cpu_ns: (bytes as f64 * (READ_CPU_NS_PER_BYTE + COLFMT_CHECKSUM_NS_PER_BYTE)
+            + nnz as f64 * COLFMT_DECODE_NS_PER_ENTRY) as u64,
+        mem_bytes: bytes * 2 + nnz * 12,
+        ..Default::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -394,6 +540,84 @@ mod tests {
                 .abs()
                 < 1e-9,
             "format + drain must equal the serial writer's ns/byte"
+        );
+    }
+
+    #[test]
+    fn colfmt_write_split_sums_to_the_serial_rate() {
+        assert!(
+            (COLFMT_ENCODE_NS_PER_BYTE + COLFMT_DRAIN_NS_PER_BYTE - COLFMT_WRITE_NS_PER_BYTE).abs()
+                < 1e-9,
+            "encode + drain must equal the serial binary writer's ns/byte"
+        );
+    }
+
+    #[test]
+    fn colfmt_is_cheaper_than_arff_on_both_sides() {
+        // The whole point of the binary intermediate: fewer bytes at a
+        // cheaper per-byte rate on the write side, and per-entry decode
+        // instead of float parsing on the read side.
+        let rows: Vec<hpa_sparse::SparseVec> = (0..200)
+            .map(|i| hpa_sparse::SparseVec::from_pairs(vec![(i, 1.5), (i + 300, 0.25)]))
+            .collect();
+        let dim = 1000;
+        let aw = arff_write_estimate(&rows, dim);
+        let cw = colfmt_write_estimate(&rows);
+        assert!(
+            cw.cpu_ns * 2 < aw.cpu_ns,
+            "write {} vs {}",
+            cw.cpu_ns,
+            aw.cpu_ns
+        );
+        let ar = arff_read_cost(&rows, dim);
+        let cr = colfmt_read_cost(&rows);
+        assert!(
+            cr.cpu_ns * 2 < ar.cpu_ns,
+            "read {} vs {}",
+            cr.cpu_ns,
+            ar.cpu_ns
+        );
+    }
+
+    #[test]
+    fn colfmt_split_read_approximates_the_serial_read_model() {
+        let rows: Vec<hpa_sparse::SparseVec> = (0..600)
+            .map(|i| hpa_sparse::SparseVec::from_pairs(vec![(i, 1.5), (i + 700, 2.0)]))
+            .collect();
+        let serial = colfmt_read_cost(&rows);
+        let chunks = rows.len().div_ceil(hpa_colfmt::DEFAULT_CHUNK_ROWS);
+        let mut split = colfmt_slurp_cost(colfmt_file_bytes(&rows));
+        split += colfmt_index_cost(chunks as u64);
+        for chunk in rows.chunks(hpa_colfmt::DEFAULT_CHUNK_ROWS) {
+            split += colfmt_decode_chunk_cost(colfmt_chunk_bytes(chunk));
+        }
+        let ratio = split.cpu_ns as f64 / serial.cpu_ns as f64;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "split cpu {} vs serial cpu {}",
+            split.cpu_ns,
+            serial.cpu_ns
+        );
+    }
+
+    #[test]
+    fn colfmt_encode_plus_drain_matches_the_serial_write_estimate() {
+        let rows: Vec<hpa_sparse::SparseVec> = (0..600)
+            .map(|i| hpa_sparse::SparseVec::from_pairs(vec![(i, 1.5), (i + 700, 2.0)]))
+            .collect();
+        let serial = colfmt_write_estimate(&rows);
+        let mut split = colfmt_header_cost();
+        for chunk in rows.chunks(hpa_colfmt::DEFAULT_CHUNK_ROWS) {
+            let bytes = colfmt_chunk_bytes(chunk);
+            split += colfmt_encode_chunk_cost(chunk);
+            split += colfmt_drain_cost(bytes);
+        }
+        let ratio = split.cpu_ns as f64 / serial.cpu_ns as f64;
+        assert!(
+            (0.95..=1.05).contains(&ratio),
+            "split cpu {} vs serial cpu {}",
+            split.cpu_ns,
+            serial.cpu_ns
         );
     }
 

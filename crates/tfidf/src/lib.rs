@@ -27,13 +27,14 @@ pub mod vocab;
 pub use vocab::Vocab;
 
 use hpa_arff::{parse_data_line, ArffError, ArffHeader, ArffReader, ArffWriter};
+use hpa_colfmt::{encode_chunk, ColFmtError, ColReader, ColWriter};
 use hpa_corpus::{Corpus, Tokenizer};
 use hpa_dict::{hash_word, AnyDict, DictKind, DictPhase, Dictionary};
 use hpa_exec::sync::Mutex;
 use hpa_exec::{Exec, TaskCost};
 use hpa_io::{ByteCounter, Sequencer};
 use hpa_sparse::SparseVec;
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
 
 /// Configuration of the TF/IDF operator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -620,6 +621,291 @@ pub fn read_arff_parallel<R: BufRead>(
     Ok((rows, dim))
 }
 
+/// Binary variant of [`write_arff`]: stream the model into the
+/// chunk-aligned colfmt intermediate (`hpa_colfmt`), serially. The
+/// emitted bytes are deterministic for a fixed model — the chunk grain
+/// is [`hpa_colfmt::DEFAULT_CHUNK_ROWS`], never the thread count — and
+/// identical to [`write_colfmt_overlapped`]'s.
+pub fn write_colfmt<W: Write>(exec: &Exec, model: &TfIdfModel, out: W) -> Result<W, ColFmtError> {
+    let _span = hpa_trace::span!("tfidf", "write-colfmt", model.vectors.len() as u64);
+    if hpa_trace::is_enabled() {
+        let est = cost::colfmt_write_estimate(&model.vectors);
+        hpa_trace::predict("tfidf", "write-colfmt", exec.predict_serial_ns(&est));
+    }
+    let chunk_rows = hpa_colfmt::DEFAULT_CHUNK_ROWS;
+    exec.serial_costed(|| {
+        let mut w = match ColWriter::new(
+            ByteCounter::new(out),
+            model.vectors.len() as u64,
+            model.vocab.len() as u64,
+            chunk_rows,
+        ) {
+            Ok(w) => w,
+            // The counter died with the writer; the lost charge is the
+            // 32-byte header — noise.
+            Err(e) => return (Err(ColFmtError::Io(e)), TaskCost::default()),
+        };
+        for chunk in model.vectors.chunks(chunk_rows) {
+            if let Err(e) = w.write_chunk(chunk) {
+                // Charge the work that reached the counter before the
+                // failure, mirroring `write_arff`.
+                let cost = w.sink().cost();
+                return (Err(ColFmtError::Io(e)), cost);
+            }
+        }
+        let cost = w.sink().cost();
+        match w.finish() {
+            Ok(counter) => (Ok(counter.into_inner()), cost),
+            Err(e) => (Err(ColFmtError::Io(e)), cost),
+        }
+    })
+}
+
+/// Pipelined variant of [`write_colfmt`], the binary sibling of
+/// [`write_arff_overlapped`]: chunk *encoding* (varint packing,
+/// checksumming) runs chunk-parallel into reusable blocks, while a
+/// dedicated drain thread appends the blocks in document order through
+/// the same [`Sequencer`] + bounded-channel protocol. Chunk blocks are
+/// self-contained — each carries its own header and checksum — so the
+/// only serial work left is the ordered append itself.
+pub fn write_colfmt_overlapped<W: Write + Send>(
+    exec: &Exec,
+    model: &TfIdfModel,
+    out: W,
+) -> Result<W, ColFmtError> {
+    let _span = hpa_trace::span!(
+        "tfidf",
+        "write-colfmt-overlapped",
+        model.vectors.len() as u64
+    );
+    let n = model.vectors.len();
+    let dim = model.vocab.len();
+    // Fixed grain: the chunk layout is part of the byte format, so it
+    // must not depend on the executor (serial and pipelined writers
+    // produce identical files).
+    let chunk_rows = hpa_colfmt::DEFAULT_CHUNK_ROWS;
+
+    // Serial prefix: the 32-byte file header.
+    let writer = exec.serial_costed(|| {
+        match ColWriter::new(ByteCounter::new(out), n as u64, dim as u64, chunk_rows) {
+            Ok(w) => (Ok(w), cost::colfmt_header_cost()),
+            Err(e) => (Err(ColFmtError::Io(e)), TaskCost::default()),
+        }
+    })?;
+
+    if hpa_trace::is_enabled() {
+        let header_ns = exec.predict_serial_ns(&cost::colfmt_header_cost());
+        let encode_ns = exec.predict_region_ns(n, chunk_rows, |range| {
+            cost::colfmt_encode_chunk_cost(&model.vectors[range])
+        });
+        let body_bytes: u64 = model
+            .vectors
+            .chunks(chunk_rows)
+            .map(cost::colfmt_chunk_bytes)
+            .sum();
+        let drain_ns = exec.predict_serial_ns(&cost::colfmt_drain_cost(body_bytes));
+        hpa_trace::predict(
+            "tfidf",
+            "write-colfmt-overlapped",
+            header_ns + encode_ns.max(drain_ns),
+        );
+    }
+
+    let header_bytes = writer.sink().bytes();
+    let mut outcome: Option<Result<ByteCounter<W>, ColFmtError>> = None;
+    let (tx, rx) = hpa_io::channel::bounded::<Vec<u8>>(4);
+    let seq = Sequencer::new(tx);
+    // Blocks cycle drain → free list → encoder, exactly like the ARFF
+    // pipeline: allocation is bounded by channel capacity + in-flight
+    // chunks, not file size.
+    let free: Mutex<Vec<Vec<u8>>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        let (seq, free) = (&seq, &free);
+        let drain_handle = s.spawn(move || {
+            let mut w = writer;
+            let mut failure: Option<ColFmtError> = None;
+            while let Ok(block) = rx.recv() {
+                hpa_trace::counter("colfmt", "queue-depth", rx.len() as u64);
+                let _sp = hpa_trace::span!("colfmt", "drain", block.len() as u64);
+                if let Err(e) = w.write_raw_chunk(&block) {
+                    // Leaving the loop drops `rx`, unblocking encoders
+                    // parked on the full channel.
+                    failure = Some(ColFmtError::Io(e));
+                    break;
+                }
+                hpa_trace::counter("colfmt", "bytes-written", w.sink().bytes());
+                let mut recycled = block;
+                recycled.clear();
+                free.lock().push(recycled);
+            }
+            drop(rx);
+            let bytes = w.sink().bytes();
+            let result = match failure {
+                Some(e) => Err(e),
+                // `finish` verifies every promised chunk arrived and
+                // flushes; a clean drain of all chunks always satisfies
+                // its count checks.
+                None => w.finish().map_err(ColFmtError::Io),
+            };
+            (bytes, result)
+        });
+
+        exec.par_chunks_overlapped(
+            n,
+            chunk_rows,
+            |range| {
+                let mut block = free.lock().pop().unwrap_or_default();
+                block.clear();
+                let _sp = hpa_trace::span!("colfmt", "write-chunk", range.len() as u64);
+                encode_chunk(
+                    &model.vectors[range.clone()],
+                    range.start as u64,
+                    &mut block,
+                );
+                // A failed drain disconnects the channel; the block is
+                // simply dropped and the error surfaces below.
+                let _ = seq.push((range.start / chunk_rows) as u64, block);
+            },
+            |range| cost::colfmt_encode_chunk_cost(&model.vectors[range]),
+            || {
+                seq.close();
+                let (bytes, result) = drain_handle.join().expect("drain thread never panics");
+                // The header was already charged by the serial prefix.
+                let cost = cost::colfmt_drain_cost(bytes - header_bytes);
+                outcome = Some(result);
+                cost
+            },
+        );
+    });
+
+    match outcome.expect("drain closure always runs") {
+        Ok(counter) => Ok(counter.into_inner()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Binary variant of [`read_arff`]: stream the colfmt intermediate back
+/// chunk by chunk, serially. Returns the vectors and the dimension.
+pub fn read_colfmt<R: Read>(exec: &Exec, input: R) -> Result<(Vec<SparseVec>, usize), ColFmtError> {
+    let _span = hpa_trace::span!("tfidf", "read-colfmt", 0);
+    let result = exec.serial_costed(|| {
+        let result = (|| {
+            let reader = ColReader::new(input)?;
+            let dim = usize::try_from(reader.header().dim).map_err(|_| {
+                ColFmtError::corrupt_header(format!(
+                    "dimension {} overflows usize",
+                    reader.header().dim
+                ))
+            })?;
+            let rows = reader.read_all()?;
+            Ok((rows, dim))
+        })();
+        let cost = match &result {
+            Ok((rows, _)) => cost::colfmt_read_cost(rows),
+            Err(_) => TaskCost::default(),
+        };
+        (result, cost)
+    });
+    if hpa_trace::is_enabled() {
+        if let Ok((rows, _)) = &result {
+            // Byte volume is only known post-hoc, so the prediction is
+            // emitted inside the span it prices.
+            let ns = exec.predict_serial_ns(&cost::colfmt_read_cost(rows));
+            hpa_trace::predict("tfidf", "read-colfmt", ns);
+        }
+    }
+    result
+}
+
+/// Chunk-parallel variant of [`read_colfmt`], the binary sibling of
+/// [`read_arff_parallel`]: the file is slurped once (page-cache warm),
+/// the chunk table is walked serially (fixed 40-byte headers, no
+/// payload work), and each chunk's payload is checksummed and decoded
+/// in parallel — chunk independence makes the split trivial, no
+/// line-boundary search required. Value-identical to the streaming
+/// reader, in the same order; corruption reports the same chunk
+/// numbers.
+pub fn read_colfmt_parallel<R: Read>(
+    exec: &Exec,
+    mut input: R,
+) -> Result<(Vec<SparseVec>, usize), ColFmtError> {
+    let _span = hpa_trace::span!("tfidf", "read-colfmt-parallel", 0);
+    // Serial prefix 1: slurp the file.
+    let data = exec.serial_costed(|| {
+        let mut data = Vec::new();
+        let result = match input.read_to_end(&mut data) {
+            Ok(_) => Ok(data),
+            Err(e) => Err(ColFmtError::Io(e)),
+        };
+        let bytes = result.as_ref().map(|d| d.len() as u64).unwrap_or(0);
+        (result, cost::colfmt_slurp_cost(bytes))
+    })?;
+
+    // Serial prefix 2: the chunk table (headers only).
+    let (header, table) = exec.serial_costed(|| {
+        let result = hpa_colfmt::index_chunks(&data);
+        let chunks = result.as_ref().map(|(h, _)| h.chunks).unwrap_or(0);
+        (result, cost::colfmt_index_cost(chunks))
+    })?;
+    let dim = usize::try_from(header.dim).map_err(|_| {
+        ColFmtError::corrupt_header(format!("dimension {} overflows usize", header.dim))
+    })?;
+    let nchunks = table.len();
+
+    if hpa_trace::is_enabled() {
+        let ns = exec.predict_serial_ns(&cost::colfmt_slurp_cost(data.len() as u64))
+            + exec.predict_serial_ns(&cost::colfmt_index_cost(header.chunks))
+            + exec.predict_region_ns(nchunks, 1, |chunks| {
+                let bytes: u64 = chunks
+                    .map(|ci| (hpa_colfmt::CHUNK_HEADER_LEN + table[ci].1.len()) as u64)
+                    .sum();
+                cost::colfmt_decode_chunk_cost(bytes)
+            });
+        hpa_trace::predict("tfidf", "read-colfmt-parallel", ns);
+    }
+
+    let slots: Vec<Mutex<Option<Vec<SparseVec>>>> =
+        (0..nchunks).map(|_| Mutex::new(None)).collect();
+    // Earliest-chunk-wins, so the reported corruption matches what the
+    // streaming reader (which stops at the first bad chunk) would say.
+    let first_error: Mutex<Option<(usize, ColFmtError)>> = Mutex::new(None);
+    exec.par_chunks(
+        nchunks,
+        1,
+        |chunks| {
+            for ci in chunks {
+                let (ch, range) = &table[ci];
+                let bytes = &data[range.clone()];
+                let _sp = hpa_trace::span!("colfmt", "read-chunk", bytes.len() as u64);
+                match hpa_colfmt::decode_chunk(ch, bytes, header.dim, ci as u64) {
+                    Ok(rows) => *slots[ci].lock() = Some(rows),
+                    Err(e) => {
+                        let mut slot = first_error.lock();
+                        let earlier = matches!(&*slot, Some((c, _)) if *c <= ci);
+                        if !earlier {
+                            *slot = Some((ci, e));
+                        }
+                    }
+                }
+            }
+        },
+        |chunks| {
+            let bytes: u64 = chunks
+                .map(|ci| (hpa_colfmt::CHUNK_HEADER_LEN + table[ci].1.len()) as u64)
+                .sum();
+            cost::colfmt_decode_chunk_cost(bytes)
+        },
+    );
+    if let Some((_, e)) = first_error.into_inner() {
+        return Err(e);
+    }
+    let mut rows = Vec::new();
+    for slot in slots {
+        rows.extend(slot.into_inner().expect("chunk decoded"));
+    }
+    Ok((rows, dim))
+}
+
 /// Parse one line-aligned chunk; errors carry the 1-based line offset
 /// *within the chunk* (converted to an absolute number by the caller).
 fn parse_data_chunk(bytes: &[u8], dim: usize) -> Result<Vec<SparseVec>, (usize, String)> {
@@ -945,6 +1231,180 @@ mod tests {
                 "the bytes formatted before the failure cost time (overlapped={overlapped})"
             );
         }
+    }
+
+    fn assert_matrix_bits_equal(a: &[SparseVec], b: &[SparseVec], ctx: &str) {
+        assert_eq!(a.len(), b.len(), "{ctx}");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.terms(), y.terms(), "{ctx}");
+            let xb: Vec<u64> = x.weights().iter().map(|w| w.to_bits()).collect();
+            let yb: Vec<u64> = y.weights().iter().map(|w| w.to_bits()).collect();
+            assert_eq!(xb, yb, "weights must be bit-identical: {ctx}");
+        }
+    }
+
+    #[test]
+    fn colfmt_round_trip_preserves_matrix_bit_exactly() {
+        let exec = Exec::sequential();
+        let model = op(DictKind::BTree).fit(&exec, &corpus());
+        let bytes = write_colfmt(&exec, &model, Vec::new()).unwrap();
+        let (rows, dim) = read_colfmt(&exec, std::io::Cursor::new(bytes)).unwrap();
+        assert_eq!(dim, 4);
+        assert_matrix_bits_equal(&model.vectors, &rows, "serial colfmt round trip");
+    }
+
+    #[test]
+    fn colfmt_overlapped_write_is_byte_identical_to_serial() {
+        let model = op(DictKind::BTree).fit(&Exec::sequential(), &corpus());
+        let serial = write_colfmt(&Exec::sequential(), &model, Vec::new()).unwrap();
+        for exec in [
+            Exec::sequential(),
+            Exec::pool(3),
+            Exec::simulated(4, hpa_exec::MachineModel::default()),
+        ] {
+            let overlapped = write_colfmt_overlapped(&exec, &model, Vec::new()).unwrap();
+            assert_eq!(serial, overlapped, "bytes must be identical under {exec:?}");
+        }
+    }
+
+    #[test]
+    fn colfmt_overlapped_write_of_empty_model_is_header_only() {
+        let exec = Exec::sequential();
+        let model = op(DictKind::BTree).fit(&exec, &Corpus::default());
+        let serial = write_colfmt(&exec, &model, Vec::new()).unwrap();
+        let overlapped = write_colfmt_overlapped(&exec, &model, Vec::new()).unwrap();
+        assert_eq!(serial, overlapped);
+        assert_eq!(serial.len(), hpa_colfmt::FILE_HEADER_LEN);
+    }
+
+    #[test]
+    fn colfmt_parallel_read_matches_streaming_reader() {
+        // Enough rows for a dozen chunks at the fixed grain.
+        let n = 4 * hpa_colfmt::DEFAULT_CHUNK_ROWS + 17;
+        let dim = 64u64;
+        let rows: Vec<SparseVec> = (0..n as u32)
+            .map(|i| {
+                SparseVec::from_pairs(vec![
+                    (i % 50, 0.25 + i as f64 * 0.001),
+                    ((i * 7 + 3) % 64, 1.5),
+                ])
+            })
+            .collect();
+        let mut w =
+            ColWriter::new(Vec::new(), n as u64, dim, hpa_colfmt::DEFAULT_CHUNK_ROWS).unwrap();
+        for chunk in rows.chunks(hpa_colfmt::DEFAULT_CHUNK_ROWS) {
+            w.write_chunk(chunk).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let (serial, sdim) =
+            read_colfmt(&Exec::sequential(), std::io::Cursor::new(bytes.clone())).unwrap();
+        assert_eq!(sdim, dim as usize);
+        assert_matrix_bits_equal(&rows, &serial, "streaming reader");
+        for exec in [
+            Exec::sequential(),
+            Exec::pool(3),
+            Exec::simulated(4, hpa_exec::MachineModel::default()),
+        ] {
+            let (parallel, pdim) =
+                read_colfmt_parallel(&exec, std::io::Cursor::new(bytes.clone())).unwrap();
+            assert_eq!(pdim, dim as usize, "under {exec:?}");
+            assert_matrix_bits_equal(&serial, &parallel, "parallel reader");
+        }
+    }
+
+    #[test]
+    fn colfmt_matrix_is_bit_identical_to_arff_matrix() {
+        // The cross-format equivalence suite: whatever intermediate the
+        // planner picks, the k-means operator must see the same bits.
+        // Randomized end-to-end arm: several generated corpora, every
+        // executor flavor, both schedules of both formats.
+        for seed in [1u64, 7, 20160315] {
+            let c = hpa_corpus::CorpusSpec::mix().scaled(0.002).generate(seed);
+            let model = op(DictKind::BTree).fit(&Exec::sequential(), &c);
+            let arff_bytes = write_arff(&Exec::sequential(), &model, Vec::new()).unwrap();
+            let col_bytes = write_colfmt(&Exec::sequential(), &model, Vec::new()).unwrap();
+            assert!(
+                col_bytes.len() * 2 < arff_bytes.len(),
+                "binary must be much smaller: {} vs {} (seed {seed})",
+                col_bytes.len(),
+                arff_bytes.len()
+            );
+            for exec in [Exec::pool(3), Exec::sequential()] {
+                let over = write_colfmt_overlapped(&exec, &model, Vec::new()).unwrap();
+                assert_eq!(col_bytes, over, "deterministic bytes (seed {seed})");
+                let (via_arff, adim) =
+                    read_arff_parallel(&exec, std::io::Cursor::new(arff_bytes.clone())).unwrap();
+                let (via_col, cdim) =
+                    read_colfmt_parallel(&exec, std::io::Cursor::new(col_bytes.clone())).unwrap();
+                assert_eq!(adim, cdim, "seed {seed}");
+                assert_matrix_bits_equal(
+                    &via_arff,
+                    &via_col,
+                    &format!("arff vs colfmt, seed {seed}, {exec:?}"),
+                );
+                assert_matrix_bits_equal(
+                    &model.vectors,
+                    &via_col,
+                    &format!("model vs colfmt, seed {seed}, {exec:?}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn colfmt_failed_write_still_charges_the_work_it_did() {
+        let model = op(DictKind::BTree).fit(&Exec::sequential(), &corpus());
+        let full = write_colfmt(&Exec::sequential(), &model, Vec::new()).unwrap();
+        for overlapped in [false, true] {
+            let exec = Exec::simulated(2, hpa_exec::MachineModel::default());
+            let out = Truncating {
+                cap: full.len() / 2,
+                written: 0,
+            };
+            let before = exec.now();
+            let result = if overlapped {
+                write_colfmt_overlapped(&exec, &model, out).map(|_| ())
+            } else {
+                write_colfmt(&exec, &model, out).map(|_| ())
+            };
+            assert!(result.is_err(), "truncated output must fail");
+            assert!(
+                exec.now() > before,
+                "the bytes encoded before the failure cost time (overlapped={overlapped})"
+            );
+        }
+    }
+
+    #[test]
+    fn colfmt_readers_agree_on_the_corrupt_chunk() {
+        let exec = Exec::sequential();
+        let n = 3 * hpa_colfmt::DEFAULT_CHUNK_ROWS;
+        let rows: Vec<SparseVec> = (0..n as u32)
+            .map(|i| SparseVec::from_pairs(vec![(i % 40, 1.0 + i as f64)]))
+            .collect();
+        let mut w =
+            ColWriter::new(Vec::new(), n as u64, 40, hpa_colfmt::DEFAULT_CHUNK_ROWS).unwrap();
+        for chunk in rows.chunks(hpa_colfmt::DEFAULT_CHUNK_ROWS) {
+            w.write_chunk(chunk).unwrap();
+        }
+        let mut bytes = w.finish().unwrap();
+        // Corrupt the middle chunk's payload (and, further on, the last
+        // chunk's): the parallel reader must report the *earliest* bad
+        // chunk, matching the streaming reader's stop-at-first behavior.
+        let (_, table) = hpa_colfmt::index_chunks(&bytes).unwrap();
+        for ci in [1usize, 2] {
+            let mid = table[ci].1.start + (table[ci].1.end - table[ci].1.start) / 2;
+            bytes[mid] ^= 0x20;
+        }
+        let serial = read_colfmt(&exec, std::io::Cursor::new(bytes.clone()))
+            .unwrap_err()
+            .to_string();
+        let parallel = read_colfmt_parallel(&Exec::pool(3), std::io::Cursor::new(bytes))
+            .unwrap_err()
+            .to_string();
+        assert!(serial.contains("chunk 1"), "{serial}");
+        assert!(parallel.contains("chunk 1"), "{parallel}");
+        assert!(serial.contains("checksum mismatch"), "{serial}");
     }
 
     #[test]

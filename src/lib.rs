@@ -18,7 +18,8 @@
 //! * [`dict`] — ordered-tree vs hash-table term dictionaries
 //! * [`sparse`] — sparse vector algebra with buffer recycling
 //! * [`io`] — parallel input and the simulated storage device
-//! * [`arff`] — ARFF reader/writer (the discrete workflow's wire format)
+//! * [`arff`] — ARFF reader/writer (the discrete workflow's default wire format)
+//! * [`colfmt`] — chunk-aligned binary columnar intermediate (the fast wire format)
 //! * [`tfidf`] — the parallel TF/IDF operator
 //! * [`kmeans`] — the parallel sparse K-means operator and WEKA-style baseline
 //! * [`workflow`] — the operator/workflow framework (discrete vs fused)
@@ -46,6 +47,7 @@
 //! ```
 
 pub use hpa_arff as arff;
+pub use hpa_colfmt as colfmt;
 pub use hpa_core as workflow;
 pub use hpa_corpus as corpus;
 pub use hpa_dict as dict;
@@ -60,7 +62,9 @@ pub use hpa_trace as trace;
 
 /// Commonly used items, for `use hpa::prelude::*`.
 pub mod prelude {
-    pub use hpa_core::{DiscreteIo, Workflow, WorkflowBuilder, WorkflowOutcome};
+    pub use hpa_core::{
+        DiscreteIo, IntermediateFormat, Workflow, WorkflowBuilder, WorkflowOutcome,
+    };
     pub use hpa_corpus::{Corpus, CorpusSpec};
     pub use hpa_dict::{BTreeDict, DictKind, Dictionary, HashDict};
     pub use hpa_exec::{Exec, MachineModel};
