@@ -21,11 +21,12 @@ use std::path::Path;
 pub const DEFAULT_TOLERANCE: f64 = 1.5;
 
 /// The artifacts the gate knows how to compare.
-pub const GATED_FILES: [&str; 4] = [
+pub const GATED_FILES: [&str; 5] = [
     "BENCH_kmeans_assign.json",
     "BENCH_arff_pipeline.json",
     "BENCH_dict_arena.json",
     "BENCH_colfmt.json",
+    "BENCH_planner.json",
 ];
 
 /// Outcome of one check.
@@ -243,6 +244,18 @@ pub fn compare_artifact(
             gate_speedup(report, file, base, fresh, "colfmt_read_speedup", tolerance);
             gate_ceiling(report, file, base, fresh, "discrete_over_fused", tolerance);
         }
+        "planner" => {
+            gate_ceiling(report, file, base, fresh, "pick_over_best_full", tolerance);
+            gate_ceiling(
+                report,
+                file,
+                base,
+                fresh,
+                "pick_over_best_discrete",
+                tolerance,
+            );
+            gate_planner_picks(report, file, base, fresh);
+        }
         other => {
             report.push(
                 file,
@@ -418,6 +431,57 @@ fn gate_auto_picks(report: &mut GateReport, file: &str, base: &JsonValue, fresh:
     }
 }
 
+/// The planner must keep choosing the same transport wherever the
+/// baseline and fresh artifacts measured the same (scenario, threads)
+/// cell — a flipped pick is a cost-model or pricing change, never
+/// runner noise (the bench runs on the analytic simulator clock).
+fn gate_planner_picks(report: &mut GateReport, file: &str, base: &JsonValue, fresh: &JsonValue) {
+    let empty = Vec::new();
+    let base_rows = base
+        .get("picks")
+        .and_then(JsonValue::as_array)
+        .unwrap_or(&empty);
+    let fresh_rows = fresh
+        .get("picks")
+        .and_then(JsonValue::as_array)
+        .unwrap_or(&empty);
+    let cell = |row: &JsonValue| {
+        Some((
+            row.get("scenario")?.as_str()?.to_string(),
+            row.get("threads")?.as_u64()?,
+        ))
+    };
+    let mut compared = 0usize;
+    for brow in base_rows {
+        let Some(key) = cell(brow) else { continue };
+        let Some(frow) = fresh_rows.iter().find(|r| cell(r).as_ref() == Some(&key)) else {
+            continue;
+        };
+        compared += 1;
+        let bpick = brow.get("pick").and_then(JsonValue::as_str).unwrap_or("?");
+        let fpick = frow.get("pick").and_then(JsonValue::as_str).unwrap_or("?");
+        let status = if bpick == fpick {
+            GateStatus::Pass
+        } else {
+            GateStatus::Fail
+        };
+        report.push(
+            file,
+            &format!("pick {}@{}", key.0, key.1),
+            status,
+            format!("baseline '{bpick}', fresh '{fpick}'"),
+        );
+    }
+    if compared == 0 {
+        report.push(
+            file,
+            "pick",
+            GateStatus::Warn,
+            "no overlapping (scenario, threads) cells to compare".into(),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -445,6 +509,19 @@ mod tests {
             r#"{{"schema_version": 1, "bench": "colfmt",
                  "colfmt_write_speedup": {write}, "colfmt_read_speedup": {read},
                  "discrete_over_fused": {over_fused}}}"#
+        ))
+        .unwrap()
+    }
+
+    fn planner_doc(full: f64, discrete: f64, pick: &str) -> JsonValue {
+        JsonValue::parse(&format!(
+            r#"{{"schema_version": 1, "bench": "planner",
+                 "pick_over_best_full": {full},
+                 "pick_over_best_discrete": {discrete},
+                 "picks": [
+                   {{"scenario": "full", "threads": 4, "pick": "fused"}},
+                   {{"scenario": "discrete", "threads": 4, "pick": "{pick}"}}
+                 ]}}"#
         ))
         .unwrap()
     }
@@ -544,6 +621,49 @@ mod tests {
             1.5,
         );
         assert!(!report.failed(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn planner_regret_growth_and_pick_flips_fail() {
+        let base = planner_doc(1.0, 1.0, "binary-pipelined");
+        // Identical artifacts pass all four checks.
+        let mut report = GateReport::default();
+        compare_artifact(&mut report, "p.json", &base, &base.clone(), 1.5);
+        assert!(!report.failed(), "{}", report.to_text());
+        // Regret growing past baseline*tolerance fails the ceiling.
+        let mut report = GateReport::default();
+        compare_artifact(
+            &mut report,
+            "p.json",
+            &base,
+            &planner_doc(1.0, 1.8, "binary-pipelined"),
+            1.5,
+        );
+        assert!(report.failed());
+        let failing: Vec<_> = report
+            .checks
+            .iter()
+            .filter(|c| c.status == GateStatus::Fail)
+            .collect();
+        assert_eq!(failing.len(), 1);
+        assert_eq!(failing[0].what, "pick_over_best_discrete");
+        // A flipped pick in an overlapping cell fails exactly that cell.
+        let mut report = GateReport::default();
+        compare_artifact(
+            &mut report,
+            "p.json",
+            &base,
+            &planner_doc(1.0, 1.0, "arff-serial"),
+            1.5,
+        );
+        assert!(report.failed());
+        let failing: Vec<_> = report
+            .checks
+            .iter()
+            .filter(|c| c.status == GateStatus::Fail)
+            .collect();
+        assert_eq!(failing.len(), 1);
+        assert_eq!(failing[0].what, "pick discrete@4");
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //!   `output`);
 //! * [`ops`] — the TF/IDF and K-means stages as operators;
 //! * [`WorkflowBuilder`] / [`Workflow`] — the composed TF/IDF → K-means
-//!   workflow with a [`Strategy`] switch between `Discrete` and `Fused`.
+//!   workflow with a [`Strategy`] switch between `Discrete`, `Fused`,
+//!   and `Planned` — the last builds the operator DAG (`hpa_plan`),
+//!   prices every transport assignment with the analytic cost models,
+//!   and executes the cheapest plan.
 
 pub mod operator;
 pub mod ops;
@@ -29,15 +32,26 @@ pub mod pipeline;
 pub use operator::{Operator, OperatorCtx};
 pub use pipeline::TrainedPipeline;
 
+pub use hpa_plan::{IntermediateFormat, PlanSpace, Transport};
+
 use hpa_arff::ArffError;
 use hpa_colfmt::ColFmtError;
 use hpa_corpus::Corpus;
+use hpa_dict::DictPhase;
 use hpa_exec::Exec;
 use hpa_kmeans::KMeansConfig;
 use hpa_metrics::{PhaseReport, PhaseTimer};
-use hpa_tfidf::TfIdfConfig;
+use hpa_plan::{Dag, DagError, EdgeId, EdgeSpec, MatrixStats, OperatorSpec, Plan, PortType};
+use hpa_sparse::SparseVec;
+use hpa_tfidf::{TfIdfConfig, TfIdfModel};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Longest corpus-name component embedded in a temporary intermediate
+/// path. Sanitized names are pure ASCII, so this caps the path component
+/// at 64 bytes — far under the 255-byte filename limit the filesystem
+/// enforces, which an uncapped corpus name used to trip.
+const MAX_CORPUS_COMPONENT: usize = 64;
 
 /// Process-wide counter distinguishing concurrent discrete runs: two
 /// workflows over the same corpus in one process must never share an
@@ -86,6 +100,24 @@ pub enum Strategy {
         /// Directory for the intermediate file.
         dir: Option<PathBuf>,
     },
+    /// Let the cost-based planner (`hpa_plan`) pick the transport for
+    /// every edge of the workflow DAG, within the builder's
+    /// [`PlanSpace`]. A chosen file transport lands in the given
+    /// directory (a fresh temporary directory when `None`).
+    Planned {
+        /// Directory for any intermediate file the plan materializes.
+        dir: Option<PathBuf>,
+    },
+}
+
+impl Strategy {
+    /// The intermediate directory this strategy names, if any.
+    fn dir(&self) -> Option<&PathBuf> {
+        match self {
+            Strategy::Fused => None,
+            Strategy::Discrete { dir } | Strategy::Planned { dir } => dir.as_ref(),
+        }
+    }
 }
 
 /// How the discrete strategy moves the intermediate through the ARFF
@@ -106,32 +138,6 @@ pub enum DiscreteIo {
     Serial,
 }
 
-/// On-disk encoding of the discrete intermediate — the planner's other
-/// I/O knob, orthogonal to [`DiscreteIo`]'s schedule choice.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum IntermediateFormat {
-    /// Text ARFF (WEKA's format), as the paper measured it — the
-    /// paper-fidelity default. Every weight round-trips through decimal
-    /// formatting and byte-by-byte parsing.
-    #[default]
-    Arff,
-    /// Chunk-aligned binary sparse columnar format (`hpa_colfmt`):
-    /// delta+varint term ids, raw little-endian `f64` weights,
-    /// checksummed self-contained chunks. Same matrix bits, a fraction
-    /// of the bytes and the CPU.
-    Binary,
-}
-
-impl IntermediateFormat {
-    /// File extension of the intermediate this format writes.
-    pub fn extension(self) -> &'static str {
-        match self {
-            IntermediateFormat::Arff => "arff",
-            IntermediateFormat::Binary => "hpac",
-        }
-    }
-}
-
 /// Errors a workflow run can surface.
 #[derive(Debug)]
 pub enum WorkflowError {
@@ -141,6 +147,10 @@ pub enum WorkflowError {
     ColFmt(ColFmtError),
     /// Filesystem failure around the intermediate or output files.
     Io(std::io::Error),
+    /// The planner rejected the workflow DAG or the plan space (e.g. a
+    /// [`PlanSpace`] restriction that leaves the matrix edge with no
+    /// transport at all).
+    Plan(DagError),
 }
 
 impl std::fmt::Display for WorkflowError {
@@ -149,6 +159,7 @@ impl std::fmt::Display for WorkflowError {
             WorkflowError::Arff(e) => write!(f, "workflow arff error: {e}"),
             WorkflowError::ColFmt(e) => write!(f, "workflow intermediate error: {e}"),
             WorkflowError::Io(e) => write!(f, "workflow i/o error: {e}"),
+            WorkflowError::Plan(e) => write!(f, "workflow planning error: {e}"),
         }
     }
 }
@@ -173,6 +184,12 @@ impl From<std::io::Error> for WorkflowError {
     }
 }
 
+impl From<DagError> for WorkflowError {
+    fn from(e: DagError) -> Self {
+        WorkflowError::Plan(e)
+    }
+}
+
 /// Result of a workflow run: the clustering plus full phase timing.
 #[derive(Debug)]
 pub struct WorkflowOutcome {
@@ -189,6 +206,11 @@ pub struct WorkflowOutcome {
     pub phases: PhaseReport,
     /// The serialized cluster-assignment output ("output" phase product).
     pub output: Vec<u8>,
+    /// Transport label per DAG edge, in edge order (corpus hand-off,
+    /// matrix hand-off, clustering hand-off) — what the plan actually
+    /// executed, whether forced by the strategy or chosen by the
+    /// planner.
+    pub plan: Vec<&'static str>,
 }
 
 /// Builder for the TF/IDF → K-means workflow.
@@ -198,6 +220,7 @@ pub struct WorkflowBuilder {
     kmeans: KMeansConfig,
     discrete_io: DiscreteIo,
     intermediate_format: IntermediateFormat,
+    plan_space: PlanSpace,
 }
 
 impl WorkflowBuilder {
@@ -231,6 +254,14 @@ impl WorkflowBuilder {
         self
     }
 
+    /// Restrict the transports the planner may consider (default: every
+    /// transport). Only meaningful for [`planned`](Self::planned)
+    /// workflows; forced strategies ignore it.
+    pub fn plan_space(mut self, space: PlanSpace) -> Self {
+        self.plan_space = space;
+        self
+    }
+
     fn build(self, strategy: Strategy) -> Workflow {
         Workflow {
             tfidf: self.tfidf,
@@ -238,6 +269,7 @@ impl WorkflowBuilder {
             strategy,
             discrete_io: self.discrete_io,
             intermediate_format: self.intermediate_format,
+            plan_space: self.plan_space,
         }
     }
 
@@ -257,6 +289,20 @@ impl WorkflowBuilder {
     pub fn discrete_in(self, dir: PathBuf) -> Workflow {
         self.build(Strategy::Discrete { dir: Some(dir) })
     }
+
+    /// Finish as a planner-driven workflow: the cost-based planner
+    /// picks the cheapest transport per edge within the builder's
+    /// [`PlanSpace`], using a fresh temporary directory for any
+    /// intermediate it materializes.
+    pub fn planned(self) -> Workflow {
+        self.build(Strategy::Planned { dir: None })
+    }
+
+    /// Finish as a planner-driven workflow with an explicit directory
+    /// for any materialized intermediate.
+    pub fn planned_in(self, dir: PathBuf) -> Workflow {
+        self.build(Strategy::Planned { dir: Some(dir) })
+    }
 }
 
 /// The composed TF/IDF → K-means workflow.
@@ -272,10 +318,214 @@ pub struct Workflow {
     pub discrete_io: DiscreteIo,
     /// On-disk encoding of the discrete intermediate.
     pub intermediate_format: IntermediateFormat,
+    /// Transports the planner may consider under [`Strategy::Planned`].
+    pub plan_space: PlanSpace,
+}
+
+/// Cost of the final "output" phase for `len` serialized bytes:
+/// formatting CPU at the buffered-write rate plus the page-cache copy.
+/// The single source for the charged cost, the trace prediction, and
+/// the planner's output-node estimate — a drifting duplicate of this
+/// formula would fabricate conformance misses in the audit ledger.
+fn output_cost(len: usize) -> hpa_exec::TaskCost {
+    hpa_exec::TaskCost {
+        cpu_ns: (len as f64 * hpa_io::counter::WRITE_CPU_NS_PER_BYTE) as u64,
+        mem_bytes: len as u64 * 2,
+        ..Default::default()
+    }
 }
 
 impl Workflow {
-    /// Run the workflow on `corpus` under `exec`.
+    /// The transport [`Strategy::Discrete`] forces onto the matrix
+    /// edge, from the builder's two discrete knobs.
+    fn discrete_transport(&self) -> Transport {
+        match self.discrete_io {
+            DiscreteIo::Pipelined => Transport::Pipelined(self.intermediate_format),
+            DiscreteIo::Serial => Transport::Materialized(self.intermediate_format),
+        }
+    }
+
+    /// The workflow's operator DAG: source → tfidf → kmeans → output,
+    /// with per-phase cost closures over the same analytic models the
+    /// execution simulator charges. Only the matrix edge is open to
+    /// file transports (no file encoding exists for a corpus or a
+    /// clustering); returns its id so the caller can look up the
+    /// plan's decision for it.
+    fn dag(&self, corpus: &Corpus, stats: MatrixStats) -> (Dag, EdgeId) {
+        let bytes = corpus.total_bytes();
+        let files = corpus.len() as u64;
+        let dict_kind = self.tfidf.dict_kind;
+        let charge_io = self.tfidf.charge_input_io;
+        let k = self.kmeans.k;
+        let iters = self.kmeans.max_iters;
+
+        let mut dag = Dag::new();
+        let source = dag.add_node(OperatorSpec::new("source").output(PortType::Corpus));
+        let tfidf = dag.add_node(
+            OperatorSpec::new("tfidf")
+                .input(PortType::Corpus)
+                .output(PortType::SparseMatrix)
+                .phase("input+wc", move |exec| {
+                    let kind = dict_kind.resolve(DictPhase::WordCount, exec.threads());
+                    let df = dict_kind.resolve(DictPhase::Merge, exec.threads());
+                    exec.predict_serial_ns(&hpa_tfidf::cost::wc_cost_estimate(
+                        kind, df, bytes, files, charge_io,
+                    ))
+                })
+                .phase("transform", move |exec| {
+                    let iter = dict_kind.resolve(DictPhase::WordCount, exec.threads());
+                    let lookup = dict_kind.resolve(DictPhase::Lookup, exec.threads());
+                    exec.predict_serial_ns(&hpa_tfidf::cost::transform_cost_estimate(
+                        iter,
+                        lookup,
+                        stats.rows,
+                        stats.nnz,
+                        stats.dim as usize,
+                    ))
+                }),
+        );
+        let kmeans = dag.add_node(
+            OperatorSpec::new("kmeans")
+                .input(PortType::SparseMatrix)
+                .output(PortType::Clustering)
+                .phase("kmeans", move |exec| {
+                    exec.predict_serial_ns(&hpa_kmeans::cost::lloyd_estimate(
+                        stats.rows,
+                        stats.nnz,
+                        stats.dim as usize,
+                        k,
+                        iters,
+                    ))
+                }),
+        );
+        let output = dag.add_node(
+            OperatorSpec::new("output")
+                .input(PortType::Clustering)
+                .output(PortType::Bytes)
+                // ~12 bytes per "doc,cluster\n" line, matching the run's
+                // output-buffer preallocation.
+                .phase("output", move |exec| {
+                    exec.predict_serial_ns(&output_cost(stats.rows as usize * 12))
+                }),
+        );
+        dag.connect((source, 0), (tfidf, 0), EdgeSpec::fused_only())
+            .expect("workflow dag is well-typed");
+        let matrix_edge = dag
+            .connect((tfidf, 0), (kmeans, 0), EdgeSpec::open(stats))
+            .expect("workflow dag is well-typed");
+        dag.connect((kmeans, 0), (output, 0), EdgeSpec::fused_only())
+            .expect("workflow dag is well-typed");
+        (dag, matrix_edge)
+    }
+
+    /// Resolve the plan this run executes: the forced strategies map
+    /// straight onto [`Plan::forced`] (Figure 3's fixed configurations
+    /// bypass enumeration but share the pricing and execution path);
+    /// [`Strategy::Planned`] enumerates and picks the cheapest.
+    fn resolve_plan(&self, dag: &Dag, exec: &Exec) -> Result<Plan, DagError> {
+        match &self.strategy {
+            Strategy::Fused => Plan::forced(dag, exec, &[Transport::Fused; 3]),
+            Strategy::Discrete { .. } => Plan::forced(
+                dag,
+                exec,
+                &[
+                    Transport::Fused,
+                    self.discrete_transport(),
+                    Transport::Fused,
+                ],
+            ),
+            Strategy::Planned { .. } => hpa_plan::choose(dag, &self.plan_space, exec),
+        }
+    }
+
+    /// Materialize the TF/IDF matrix to disk and read it back — the
+    /// discrete workflow's extra cost, and the execution of any
+    /// non-fused transport the planner picks. `pipelined` selects the
+    /// overlapped encode/decode schedule; bytes and values are
+    /// identical either way.
+    fn intermediate_roundtrip(
+        &self,
+        ctx: &mut OperatorCtx<'_>,
+        corpus: &Corpus,
+        model: TfIdfModel,
+        format: IntermediateFormat,
+        pipelined: bool,
+    ) -> Result<(Vec<SparseVec>, usize), WorkflowError> {
+        // The path carries a process-wide run counter so concurrent
+        // runs — even over the same corpus — never collide on the
+        // intermediate.
+        let run_id = DISCRETE_RUN.fetch_add(1, Ordering::Relaxed);
+        let file_name = format!("tfidf_{run_id}.{}", format.extension());
+        let (dir, owned_dir) = match self.strategy.dir() {
+            Some(d) => (d.clone(), None),
+            None => {
+                let sanitized: String = corpus
+                    .name
+                    .chars()
+                    .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                    .take(MAX_CORPUS_COMPONENT)
+                    .collect();
+                let tmp = std::env::temp_dir().join(format!(
+                    "hpa_workflow_{}_{run_id}_{sanitized}",
+                    std::process::id(),
+                ));
+                (tmp.clone(), Some(tmp))
+            }
+        };
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(file_name);
+        // From here on, every exit — success, encode failure, I/O
+        // failure — removes the intermediate (and the temp dir, when
+        // this run created one).
+        let _cleanup = IntermediateGuard {
+            file: path.clone(),
+            owned_dir,
+        };
+
+        let span = hpa_trace::span!("phase", "tfidf-output");
+        let t0 = ctx.exec.now();
+        let file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        match (format, pipelined) {
+            (IntermediateFormat::Arff, true) => {
+                hpa_tfidf::write_arff_overlapped(ctx.exec, &model, file)?;
+            }
+            (IntermediateFormat::Arff, false) => {
+                hpa_tfidf::write_arff(ctx.exec, &model, file)?;
+            }
+            (IntermediateFormat::Binary, true) => {
+                hpa_tfidf::write_colfmt_overlapped(ctx.exec, &model, file)?;
+            }
+            (IntermediateFormat::Binary, false) => {
+                hpa_tfidf::write_colfmt(ctx.exec, &model, file)?;
+            }
+        }
+        ctx.timer.record("tfidf-output", ctx.exec.now() - t0);
+        drop(span);
+        drop(model);
+        sample_heap();
+
+        #[cfg(test)]
+        fault::maybe_fail_before_read()?;
+
+        let span = hpa_trace::span!("phase", "kmeans-input");
+        let t0 = ctx.exec.now();
+        let file = std::io::BufReader::new(std::fs::File::open(&path)?);
+        let (vectors, dim) = match (format, pipelined) {
+            (IntermediateFormat::Arff, true) => hpa_tfidf::read_arff_parallel(ctx.exec, file)?,
+            (IntermediateFormat::Arff, false) => hpa_tfidf::read_arff(ctx.exec, file)?,
+            (IntermediateFormat::Binary, true) => hpa_tfidf::read_colfmt_parallel(ctx.exec, file)?,
+            (IntermediateFormat::Binary, false) => hpa_tfidf::read_colfmt(ctx.exec, file)?,
+        };
+        ctx.timer.record("kmeans-input", ctx.exec.now() - t0);
+        drop(span);
+        sample_heap();
+        Ok((vectors, dim))
+    }
+
+    /// Run the workflow on `corpus` under `exec`: run TF/IDF, build the
+    /// operator DAG from the materialized matrix shape, resolve the
+    /// plan (forced or chosen), execute the matrix edge's transport,
+    /// then K-means and the output serialization.
     pub fn run(&self, corpus: &Corpus, exec: &Exec) -> Result<WorkflowOutcome, WorkflowError> {
         let _wf_span = hpa_trace::span!("workflow", "run", corpus.len() as u64);
         sample_heap();
@@ -288,96 +538,33 @@ impl Workflow {
         let tfidf_op = ops::TfIdfOp::new(self.tfidf);
         let kmeans_op = ops::KMeansOp::new(self.kmeans);
 
-        let (vectors, dim) = match &self.strategy {
-            Strategy::Fused => {
-                let model = tfidf_op.run(&mut ctx, corpus)?;
+        let model = tfidf_op.run(&mut ctx, corpus)?;
+
+        // Plan on the *exact* matrix shape: TF/IDF has already run, so
+        // the transport prices are computed from the materialized
+        // statistics, not corpus-level guesses.
+        let stats = MatrixStats::of(&model.vectors, model.vocab.len());
+        let (dag, matrix_edge) = self.dag(corpus, stats);
+        let plan = self.resolve_plan(&dag, exec)?;
+        if hpa_trace::is_enabled() {
+            for label in plan.labels() {
+                hpa_trace::instant("plan/choose", label);
+            }
+        }
+
+        let transport = plan
+            .transport(matrix_edge)
+            .expect("every plan decides the matrix edge");
+        let (vectors, dim) = match transport {
+            Transport::Fused => {
                 let dim = model.vocab.len();
                 (model.vectors, dim)
             }
-            Strategy::Discrete { dir } => {
-                let model = tfidf_op.run(&mut ctx, corpus)?;
-
-                // Materialize the intermediate to disk, then read it back
-                // — the discrete workflow's extra cost. The ARFF *stream*
-                // is serial by format, but formatting and parsing
-                // pipeline around it (`DiscreteIo::Pipelined`).
-                //
-                // The path carries a process-wide run counter so
-                // concurrent runs — even over the same corpus — never
-                // collide on the intermediate.
-                let run_id = DISCRETE_RUN.fetch_add(1, Ordering::Relaxed);
-                let file_name = format!("tfidf_{run_id}.{}", self.intermediate_format.extension());
-                let (dir, owned_dir) = match dir {
-                    Some(d) => (d.clone(), None),
-                    None => {
-                        let sanitized: String = corpus
-                            .name
-                            .chars()
-                            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-                            .collect();
-                        let tmp = std::env::temp_dir().join(format!(
-                            "hpa_workflow_{}_{run_id}_{sanitized}",
-                            std::process::id(),
-                        ));
-                        (tmp.clone(), Some(tmp))
-                    }
-                };
-                std::fs::create_dir_all(&dir)?;
-                let path = dir.join(file_name);
-                // From here on, every exit — success, ARFF failure, I/O
-                // failure — removes the intermediate (and the temp dir,
-                // when this run created one).
-                let _cleanup = IntermediateGuard {
-                    file: path.clone(),
-                    owned_dir,
-                };
-
-                let span = hpa_trace::span!("phase", "tfidf-output");
-                let t0 = ctx.exec.now();
-                let file = std::io::BufWriter::new(std::fs::File::create(&path)?);
-                match (self.intermediate_format, self.discrete_io) {
-                    (IntermediateFormat::Arff, DiscreteIo::Pipelined) => {
-                        hpa_tfidf::write_arff_overlapped(ctx.exec, &model, file)?;
-                    }
-                    (IntermediateFormat::Arff, DiscreteIo::Serial) => {
-                        hpa_tfidf::write_arff(ctx.exec, &model, file)?;
-                    }
-                    (IntermediateFormat::Binary, DiscreteIo::Pipelined) => {
-                        hpa_tfidf::write_colfmt_overlapped(ctx.exec, &model, file)?;
-                    }
-                    (IntermediateFormat::Binary, DiscreteIo::Serial) => {
-                        hpa_tfidf::write_colfmt(ctx.exec, &model, file)?;
-                    }
-                }
-                ctx.timer.record("tfidf-output", ctx.exec.now() - t0);
-                drop(span);
-                drop(model);
-                sample_heap();
-
-                #[cfg(test)]
-                fault::maybe_fail_before_read()?;
-
-                let span = hpa_trace::span!("phase", "kmeans-input");
-                let t0 = ctx.exec.now();
-                let file = std::io::BufReader::new(std::fs::File::open(&path)?);
-                let (vectors, dim) = match (self.intermediate_format, self.discrete_io) {
-                    (IntermediateFormat::Arff, DiscreteIo::Pipelined) => {
-                        hpa_tfidf::read_arff_parallel(ctx.exec, file)?
-                    }
-                    (IntermediateFormat::Arff, DiscreteIo::Serial) => {
-                        hpa_tfidf::read_arff(ctx.exec, file)?
-                    }
-                    (IntermediateFormat::Binary, DiscreteIo::Pipelined) => {
-                        hpa_tfidf::read_colfmt_parallel(ctx.exec, file)?
-                    }
-                    (IntermediateFormat::Binary, DiscreteIo::Serial) => {
-                        hpa_tfidf::read_colfmt(ctx.exec, file)?
-                    }
-                };
-                ctx.timer.record("kmeans-input", ctx.exec.now() - t0);
-                drop(span);
-                sample_heap();
-                (vectors, dim)
+            Transport::Pipelined(format) => {
+                self.intermediate_roundtrip(&mut ctx, corpus, model, format, true)?
+            }
+            Transport::Materialized(format) => {
+                self.intermediate_roundtrip(&mut ctx, corpus, model, format, false)?
             }
         };
 
@@ -393,24 +580,17 @@ impl Workflow {
             for (i, a) in model.assignments.iter().enumerate() {
                 let _ = writeln!(out, "{i},{a}");
             }
-            // Buffered write of the (small) assignment file: formatting
-            // CPU plus the page-cache copy.
-            let cost = hpa_exec::TaskCost {
-                cpu_ns: (out.len() as f64 * 1.2) as u64,
-                mem_bytes: out.len() as u64 * 2,
-                ..Default::default()
-            };
+            let cost = output_cost(out.len());
             (out, cost)
         });
         if hpa_trace::is_enabled() {
             // Output bytes are only known after formatting, so the
             // prediction is emitted inside the span it prices.
-            let cost = hpa_exec::TaskCost {
-                cpu_ns: (output.len() as f64 * 1.2) as u64,
-                mem_bytes: output.len() as u64 * 2,
-                ..Default::default()
-            };
-            hpa_trace::predict("phase", "output", ctx.exec.predict_serial_ns(&cost));
+            hpa_trace::predict(
+                "phase",
+                "output",
+                ctx.exec.predict_serial_ns(&output_cost(output.len())),
+            );
         }
         timer.record("output", exec.now() - t0);
         drop(output_span);
@@ -423,6 +603,7 @@ impl Workflow {
             dim,
             phases: timer.finish(),
             output,
+            plan: plan.labels(),
         })
     }
 }
@@ -819,5 +1000,141 @@ mod tests {
         let out = builder().fused().run(&Corpus::default(), &exec).unwrap();
         assert!(out.assignments.is_empty());
         assert_eq!(out.dim, 0);
+    }
+
+    #[test]
+    fn empty_corpus_runs_cleanly_on_every_discrete_path() {
+        // The fused arm had empty-corpus coverage; the four discrete
+        // format × schedule combinations had none. A zero-document
+        // matrix must round-trip through each intermediate encoding.
+        let exec = Exec::sequential();
+        for format in [IntermediateFormat::Arff, IntermediateFormat::Binary] {
+            for io in [DiscreteIo::Pipelined, DiscreteIo::Serial] {
+                let out = builder()
+                    .intermediate_format(format)
+                    .discrete_io(io)
+                    .discrete()
+                    .run(&Corpus::default(), &exec)
+                    .unwrap_or_else(|e| panic!("{format:?}/{io:?}: {e}"));
+                assert!(out.assignments.is_empty(), "{format:?}/{io:?}");
+                assert_eq!(out.dim, 0, "{format:?}/{io:?}");
+                assert!(out.output.is_empty(), "{format:?}/{io:?}");
+            }
+        }
+        assert!(leftover_intermediates("").is_empty());
+    }
+
+    #[test]
+    fn long_corpus_names_cannot_overflow_the_intermediate_path() {
+        // Regression: the sanitized corpus name was embedded in the
+        // temp-directory component uncapped, so a name past the
+        // filesystem's 255-byte component limit failed create_dir_all
+        // with ENAMETOOLONG. Now the component is truncated.
+        let name = "x".repeat(300);
+        let corpus = named_corpus(&name);
+        let out = builder()
+            .discrete()
+            .run(&corpus, &Exec::sequential())
+            .unwrap();
+        assert_eq!(out.assignments.len(), corpus.len());
+        let truncated: String = name.chars().take(MAX_CORPUS_COMPONENT).collect();
+        assert!(leftover_intermediates(&truncated).is_empty());
+    }
+
+    #[test]
+    fn output_cost_uses_the_shared_write_rate() {
+        // Regression: the "output" phase charge and its trace
+        // prediction each carried their own copy of the 1.2 ns/B
+        // literal; both now flow through `output_cost`, which reads
+        // the rate from `hpa_io`.
+        let c = output_cost(1000);
+        assert_eq!(
+            c.cpu_ns,
+            (1000.0 * hpa_io::counter::WRITE_CPU_NS_PER_BYTE) as u64
+        );
+        assert_eq!(c.mem_bytes, 2000);
+        assert_eq!(output_cost(0), hpa_exec::TaskCost::default());
+    }
+
+    #[test]
+    fn forced_strategies_report_their_plan() {
+        let exec = Exec::sequential();
+        let corpus = small_corpus();
+        let fused = builder().fused().run(&corpus, &exec).unwrap();
+        assert_eq!(fused.plan, vec!["fused", "fused", "fused"]);
+        let discrete = builder()
+            .intermediate_format(IntermediateFormat::Binary)
+            .discrete_io(DiscreteIo::Serial)
+            .discrete()
+            .run(&corpus, &exec)
+            .unwrap();
+        assert_eq!(discrete.plan, vec!["fused", "binary-serial", "fused"]);
+    }
+
+    #[test]
+    fn planned_full_space_matches_fused_bit_for_bit() {
+        let exec = Exec::sequential();
+        let corpus = small_corpus();
+        let fused = builder().fused().run(&corpus, &exec).unwrap();
+        let planned = builder().planned().run(&corpus, &exec).unwrap();
+        assert_eq!(planned.plan, vec!["fused", "fused", "fused"]);
+        assert_eq!(planned.assignments, fused.assignments);
+        assert_eq!(planned.dim, fused.dim);
+        assert_eq!(planned.inertia.to_bits(), fused.inertia.to_bits());
+        assert_eq!(
+            planned.phases.labels(),
+            vec!["input+wc", "transform", "kmeans", "output"]
+        );
+    }
+
+    #[test]
+    fn planned_discrete_space_takes_a_file_transport() {
+        let exec = Exec::sequential();
+        let corpus = small_corpus();
+        let out = builder()
+            .plan_space(PlanSpace::discrete())
+            .planned()
+            .run(&corpus, &exec)
+            .unwrap();
+        assert_eq!(out.plan[0], "fused");
+        assert_ne!(out.plan[1], "fused", "matrix edge must take a file");
+        assert_eq!(out.plan[2], "fused");
+        assert_eq!(
+            out.phases.labels(),
+            vec![
+                "input+wc",
+                "transform",
+                "tfidf-output",
+                "kmeans-input",
+                "kmeans",
+                "output"
+            ]
+        );
+        let fused = builder().fused().run(&corpus, &exec).unwrap();
+        assert_eq!(out.assignments, fused.assignments);
+        assert_eq!(out.dim, fused.dim);
+    }
+
+    #[test]
+    fn planned_runs_clean_up_their_intermediates() {
+        let corpus = named_corpus("plannedclean");
+        let out = builder()
+            .plan_space(PlanSpace::discrete())
+            .planned()
+            .run(&corpus, &Exec::sequential())
+            .unwrap();
+        assert_ne!(out.plan[1], "fused");
+        assert!(leftover_intermediates("plannedclean").is_empty());
+    }
+
+    #[test]
+    fn empty_plan_space_surfaces_a_planning_error() {
+        let err = builder()
+            .plan_space(PlanSpace::only(std::iter::empty::<Transport>()))
+            .planned()
+            .run(&small_corpus(), &Exec::sequential())
+            .unwrap_err();
+        assert!(matches!(err, WorkflowError::Plan(_)), "{err}");
+        assert!(err.to_string().contains("planning"), "{err}");
     }
 }

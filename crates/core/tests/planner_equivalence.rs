@@ -1,0 +1,112 @@
+//! Planner ↔ hand-wired equivalence: every plan the planner can emit
+//! must reproduce the corresponding forced `Strategy` run bit for bit.
+//!
+//! The planner only picks *how* the matrix crosses the tfidf → kmeans
+//! edge; the operators themselves are untouched. So for each of the
+//! five transports, a `Planned` workflow restricted to that single
+//! transport and the classic forced workflow (`fused()` / `discrete()`
+//! with the matching format and schedule knobs) must agree exactly —
+//! assignments, dimensionality, and inertia bits — on every executor.
+
+use hpa_core::{DiscreteIo, PlanSpace, Transport, Workflow, WorkflowBuilder};
+use hpa_corpus::{Corpus, CorpusSpec};
+use hpa_dict::DictKind;
+use hpa_exec::Exec;
+use hpa_kmeans::KMeansConfig;
+use hpa_tfidf::TfIdfConfig;
+
+fn corpus() -> Corpus {
+    CorpusSpec::mix().scaled(0.002).generate(11)
+}
+
+fn builder() -> WorkflowBuilder {
+    WorkflowBuilder::new()
+        .tfidf(TfIdfConfig {
+            dict_kind: DictKind::BTree,
+            grain: 0,
+            charge_input_io: true,
+            ..Default::default()
+        })
+        .kmeans(KMeansConfig {
+            k: 4,
+            max_iters: 10,
+            seed: 3,
+            grain: 16,
+            ..Default::default()
+        })
+}
+
+/// The classic forced workflow equivalent to transport `t` on the
+/// matrix edge.
+fn forced(t: Transport) -> Workflow {
+    match t {
+        Transport::Fused => builder().fused(),
+        Transport::Pipelined(format) => builder()
+            .intermediate_format(format)
+            .discrete_io(DiscreteIo::Pipelined)
+            .discrete(),
+        Transport::Materialized(format) => builder()
+            .intermediate_format(format)
+            .discrete_io(DiscreteIo::Serial)
+            .discrete(),
+    }
+}
+
+fn execs() -> Vec<Exec> {
+    vec![
+        Exec::sequential(),
+        Exec::pool(3),
+        Exec::simulated(4, hpa_exec::MachineModel::default()),
+    ]
+}
+
+#[test]
+fn every_plannable_transport_matches_its_forced_strategy() {
+    let corpus = corpus();
+    for exec in execs() {
+        for t in Transport::ALL {
+            let reference = forced(t).run(&corpus, &exec).unwrap();
+            let planned = builder()
+                .plan_space(PlanSpace::only([t]))
+                .planned()
+                .run(&corpus, &exec)
+                .unwrap();
+            let label = t.label();
+            assert_eq!(planned.plan, vec!["fused", label, "fused"], "{label}");
+            assert_eq!(planned.plan, reference.plan, "{label}");
+            assert_eq!(planned.assignments, reference.assignments, "{label}");
+            assert_eq!(planned.dim, reference.dim, "{label}");
+            assert_eq!(
+                planned.inertia.to_bits(),
+                reference.inertia.to_bits(),
+                "{label}"
+            );
+            assert_eq!(planned.iterations, reference.iterations, "{label}");
+            assert_eq!(planned.output, reference.output, "{label}");
+            assert_eq!(
+                planned.phases.labels(),
+                reference.phases.labels(),
+                "{label}"
+            );
+        }
+    }
+}
+
+#[test]
+fn unrestricted_planner_reproduces_one_of_the_forced_outcomes() {
+    // Whatever the full-space planner picks, the result must be
+    // identical to the forced strategy for that pick — the planner
+    // changes the schedule, never the numbers.
+    let corpus = corpus();
+    for exec in execs() {
+        let planned = builder().planned().run(&corpus, &exec).unwrap();
+        let pick = Transport::ALL
+            .into_iter()
+            .find(|t| t.label() == planned.plan[1])
+            .expect("plan label names a transport");
+        let reference = forced(pick).run(&corpus, &exec).unwrap();
+        assert_eq!(planned.assignments, reference.assignments);
+        assert_eq!(planned.dim, reference.dim);
+        assert_eq!(planned.inertia.to_bits(), reference.inertia.to_bits());
+    }
+}

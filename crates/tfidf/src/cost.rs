@@ -14,6 +14,43 @@ use hpa_exec::TaskCost;
 use hpa_io::READ_CPU_NS_PER_BYTE;
 use std::ops::Range;
 
+/// Shape statistics of a sparse TF/IDF matrix — row count, total
+/// non-zeros, and dimensionality. These three numbers are all the
+/// intermediate cost estimators below actually consume, so the workflow
+/// planner can price every transport of a matrix (ARFF or binary, serial
+/// or pipelined) without holding the materialized rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MatrixStats {
+    /// Number of rows (documents).
+    pub rows: u64,
+    /// Total non-zero entries across all rows.
+    pub nnz: u64,
+    /// Vocabulary size (matrix dimensionality).
+    pub dim: u64,
+}
+
+impl MatrixStats {
+    /// Exact statistics of a materialized matrix.
+    pub fn of(rows: &[hpa_sparse::SparseVec], dim: usize) -> Self {
+        Self {
+            rows: rows.len() as u64,
+            nnz: rows.iter().map(|r| r.nnz() as u64).sum(),
+            dim: dim as u64,
+        }
+    }
+
+    /// Non-zeros attributed to `count` rows under an even spread — the
+    /// chunk-level approximation the planner uses when pricing a
+    /// parallel region without the per-row nnz breakdown.
+    pub fn nnz_of_rows(&self, count: u64) -> u64 {
+        if self.rows == 0 {
+            0
+        } else {
+            (self.nnz as f64 * count as f64 / self.rows as f64) as u64
+        }
+    }
+}
+
 /// Estimated bytes per token (word + separator) in the synthetic corpora.
 pub const BYTES_PER_TOKEN: f64 = 7.3;
 /// Estimated fraction of a document's tokens that are distinct.
@@ -34,6 +71,19 @@ pub fn wc_chunk_cost(
 ) -> TaskCost {
     let bytes: u64 = range.clone().map(|i| docs[i].text.len() as u64).sum();
     let files = range.len() as u64;
+    wc_cost_estimate(kind, df_kind, bytes, files, charge_io)
+}
+
+/// [`wc_chunk_cost`] from byte/file counts alone — the planner's
+/// pre-run variant (the range-based function delegates here, so the
+/// node estimate and the charged chunk costs share one formula).
+pub fn wc_cost_estimate(
+    kind: DictKind,
+    df_kind: DictKind,
+    bytes: u64,
+    files: u64,
+    charge_io: bool,
+) -> TaskCost {
     let tokens = bytes as f64 / BYTES_PER_TOKEN;
     let distinct = tokens * DISTINCT_FRACTION;
     let hits = tokens - distinct;
@@ -145,6 +195,33 @@ pub fn transform_chunk_cost(
     }
 }
 
+/// [`transform_chunk_cost`] from aggregate counts alone — the planner's
+/// pre-run variant. Prices every document at the average distinct-term
+/// count `nnz / docs`; for a uniform corpus it matches the range-based
+/// function, and the per-term arithmetic is the same either way.
+pub fn transform_cost_estimate(
+    iter_kind: DictKind,
+    lookup_kind: DictKind,
+    docs: u64,
+    nnz: u64,
+    vocab_len: usize,
+) -> TaskCost {
+    let avg = nnz.checked_div(docs).unwrap_or(0) as usize;
+    let lookup = lookup_kind.global_kind().lookup_cost(vocab_len);
+    let iter = iter_kind.iter_step_cost(avg);
+    let sort = match iter_kind {
+        DictKind::BTree => 3.0,
+        _ => 12.0 * (avg.max(2) as f64).log2(),
+    };
+    let per_term = iter.cpu_ns + lookup.cpu_ns + sort + 35.0;
+    let per_term_mem = iter.mem_bytes + lookup.mem_bytes + 12.0;
+    TaskCost {
+        cpu_ns: (nnz as f64 * per_term + docs as f64 * 60.0) as u64,
+        mem_bytes: (nnz as f64 * per_term_mem) as u64,
+        ..Default::default()
+    }
+}
+
 /// Cost of parsing an ARFF matrix of `rows` (already materialized; used
 /// for the "kmeans-input" phase of the discrete workflow). The file was
 /// written moments earlier, so it is read back from the page cache — the
@@ -152,15 +229,21 @@ pub fn transform_chunk_cost(
 /// the materialized vectors, exactly the "parsing and data conversions"
 /// overhead §1 of the paper attributes to discrete workflows.
 pub fn arff_read_cost(rows: &[hpa_sparse::SparseVec], dim: usize) -> TaskCost {
-    let nnz: u64 = rows.iter().map(|r| r.nnz() as u64).sum();
+    arff_read_cost_stats(&MatrixStats::of(rows, dim))
+}
+
+/// [`arff_read_cost`] from shape statistics alone — the planner's
+/// pre-materialization variant; the row-based function delegates here so
+/// the two can never drift.
+pub fn arff_read_cost_stats(m: &MatrixStats) -> TaskCost {
     // Text form: "{i w,...}" ~ 22 bytes per entry; header: one attribute
     // line (~25 bytes) per dimension.
-    let bytes = nnz * 22 + dim as u64 * 25;
+    let bytes = m.nnz * 22 + m.dim * 25;
     TaskCost {
         // iostream-class float parsing: ~220 ns/value before the
         // machine model's 2016-testbed CPU scaling (~1.2 us effective).
-        cpu_ns: nnz * 220 + dim as u64 * 100,
-        mem_bytes: bytes * 2 + nnz * 12,
+        cpu_ns: m.nnz * 220 + m.dim * 100,
+        mem_bytes: bytes * 2 + m.nnz * 12,
         ..Default::default()
     }
 }
@@ -186,12 +269,25 @@ pub const DRAIN_CPU_NS_PER_BYTE: f64 = 0.2;
 /// the chunk runs: the byte volume is estimated from nnz.
 pub fn arff_format_chunk_cost(rows: &[hpa_sparse::SparseVec]) -> TaskCost {
     let nnz: u64 = rows.iter().map(|r| r.nnz() as u64).sum();
-    let bytes = nnz * ARFF_BYTES_PER_ENTRY + rows.len() as u64 * 3;
+    arff_format_cost_for(rows.len() as u64, nnz)
+}
+
+/// [`arff_format_chunk_cost`] from row/nnz counts alone (the planner's
+/// variant; the row-based function delegates here).
+pub fn arff_format_cost_for(rows: u64, nnz: u64) -> TaskCost {
+    let bytes = arff_body_bytes(rows, nnz);
     TaskCost {
         cpu_ns: (bytes as f64 * FORMAT_CPU_NS_PER_BYTE) as u64,
         mem_bytes: bytes,
         ..Default::default()
     }
+}
+
+/// ARFF data-section bytes (text rows only, no header) for `rows` rows
+/// carrying `nnz` entries — the volume the pipelined writer's drain and
+/// the parallel reader's slurp both move.
+pub fn arff_body_bytes(rows: u64, nnz: u64) -> u64 {
+    nnz * ARFF_BYTES_PER_ENTRY + rows * 3
 }
 
 /// Cost of the pipelined writer's drain stage: one ordered pass copying
@@ -213,8 +309,13 @@ pub fn arff_drain_cost(bytes: u64) -> TaskCost {
 /// write rate, byte volume estimated from nnz exactly as the chunked
 /// format/drain estimates do.
 pub fn arff_write_estimate(rows: &[hpa_sparse::SparseVec], dim: usize) -> TaskCost {
-    let nnz: u64 = rows.iter().map(|r| r.nnz() as u64).sum();
-    let bytes = nnz * ARFF_BYTES_PER_ENTRY + rows.len() as u64 * 3 + dim as u64 * 25;
+    arff_write_estimate_stats(&MatrixStats::of(rows, dim))
+}
+
+/// [`arff_write_estimate`] from shape statistics alone (the planner's
+/// variant; the row-based function delegates here).
+pub fn arff_write_estimate_stats(m: &MatrixStats) -> TaskCost {
+    let bytes = arff_body_bytes(m.rows, m.nnz) + m.dim * 25;
     TaskCost {
         cpu_ns: (bytes as f64 * hpa_io::counter::WRITE_CPU_NS_PER_BYTE) as u64,
         mem_bytes: bytes * 2,
@@ -291,18 +392,32 @@ pub const COLFMT_DECODE_NS_PER_ENTRY: f64 = 16.0;
 /// [`COLFMT_BYTES_PER_ENTRY`] per entry.
 pub fn colfmt_chunk_bytes(rows: &[hpa_sparse::SparseVec]) -> u64 {
     let nnz: u64 = rows.iter().map(|r| r.nnz() as u64).sum();
-    hpa_colfmt::CHUNK_HEADER_LEN as u64 + rows.len() as u64 + nnz * COLFMT_BYTES_PER_ENTRY
+    colfmt_chunk_bytes_for(rows.len() as u64, nnz)
+}
+
+/// [`colfmt_chunk_bytes`] from row/nnz counts alone (the planner's
+/// variant; the row-based function delegates here).
+pub fn colfmt_chunk_bytes_for(rows: u64, nnz: u64) -> u64 {
+    hpa_colfmt::CHUNK_HEADER_LEN as u64 + rows + nnz * COLFMT_BYTES_PER_ENTRY
 }
 
 /// Estimated size of a whole colfmt file over `rows` at the default
 /// chunk grain.
 pub fn colfmt_file_bytes(rows: &[hpa_sparse::SparseVec]) -> u64 {
-    let chunks = rows.len().div_ceil(hpa_colfmt::DEFAULT_CHUNK_ROWS) as u64;
-    let nnz: u64 = rows.iter().map(|r| r.nnz() as u64).sum();
+    // `dim` does not matter to the binary format's size (fixed 32-byte
+    // header), so the stats carry 0 here.
+    colfmt_file_bytes_stats(&MatrixStats::of(rows, 0))
+}
+
+/// [`colfmt_file_bytes`] from shape statistics alone (the planner's
+/// variant; the row-based function delegates here). Ignores `dim`: the
+/// binary header is fixed-size.
+pub fn colfmt_file_bytes_stats(m: &MatrixStats) -> u64 {
+    let chunks = (m.rows as usize).div_ceil(hpa_colfmt::DEFAULT_CHUNK_ROWS) as u64;
     hpa_colfmt::FILE_HEADER_LEN as u64
         + chunks * hpa_colfmt::CHUNK_HEADER_LEN as u64
-        + rows.len() as u64
-        + nnz * COLFMT_BYTES_PER_ENTRY
+        + m.rows
+        + m.nnz * COLFMT_BYTES_PER_ENTRY
 }
 
 /// Pre-run estimate of the *serial* colfmt writer: the whole file at
@@ -310,7 +425,13 @@ pub fn colfmt_file_bytes(rows: &[hpa_sparse::SparseVec]) -> u64 {
 /// per-dimension term, because the binary header is 32 fixed bytes —
 /// ARFF spends ~25 text bytes per vocabulary word before the first row.
 pub fn colfmt_write_estimate(rows: &[hpa_sparse::SparseVec]) -> TaskCost {
-    let bytes = colfmt_file_bytes(rows);
+    colfmt_write_estimate_stats(&MatrixStats::of(rows, 0))
+}
+
+/// [`colfmt_write_estimate`] from shape statistics alone (the planner's
+/// variant; the row-based function delegates here).
+pub fn colfmt_write_estimate_stats(m: &MatrixStats) -> TaskCost {
+    let bytes = colfmt_file_bytes_stats(m);
     TaskCost {
         cpu_ns: (bytes as f64 * COLFMT_WRITE_NS_PER_BYTE) as u64,
         mem_bytes: bytes * 2,
@@ -321,7 +442,14 @@ pub fn colfmt_write_estimate(rows: &[hpa_sparse::SparseVec]) -> TaskCost {
 /// Cost of encoding one chunk of sparse rows into an in-memory block
 /// (the parallel stage of the pipelined binary writer).
 pub fn colfmt_encode_chunk_cost(rows: &[hpa_sparse::SparseVec]) -> TaskCost {
-    let bytes = colfmt_chunk_bytes(rows);
+    let nnz: u64 = rows.iter().map(|r| r.nnz() as u64).sum();
+    colfmt_encode_cost_for(rows.len() as u64, nnz)
+}
+
+/// [`colfmt_encode_chunk_cost`] from row/nnz counts alone (the planner's
+/// variant; the row-based function delegates here).
+pub fn colfmt_encode_cost_for(rows: u64, nnz: u64) -> TaskCost {
+    let bytes = colfmt_chunk_bytes_for(rows, nnz);
     TaskCost {
         cpu_ns: (bytes as f64 * COLFMT_ENCODE_NS_PER_BYTE) as u64,
         mem_bytes: bytes,
@@ -390,12 +518,17 @@ pub fn colfmt_decode_chunk_cost(bytes: u64) -> TaskCost {
 /// post-hoc like [`arff_read_cost`]): one read + checksum pass over the
 /// file bytes plus per-entry decode work.
 pub fn colfmt_read_cost(rows: &[hpa_sparse::SparseVec]) -> TaskCost {
-    let bytes = colfmt_file_bytes(rows);
-    let nnz: u64 = rows.iter().map(|r| r.nnz() as u64).sum();
+    colfmt_read_cost_stats(&MatrixStats::of(rows, 0))
+}
+
+/// [`colfmt_read_cost`] from shape statistics alone (the planner's
+/// variant; the row-based function delegates here).
+pub fn colfmt_read_cost_stats(m: &MatrixStats) -> TaskCost {
+    let bytes = colfmt_file_bytes_stats(m);
     TaskCost {
         cpu_ns: (bytes as f64 * (READ_CPU_NS_PER_BYTE + COLFMT_CHECKSUM_NS_PER_BYTE)
-            + nnz as f64 * COLFMT_DECODE_NS_PER_ENTRY) as u64,
-        mem_bytes: bytes * 2 + nnz * 12,
+            + m.nnz as f64 * COLFMT_DECODE_NS_PER_ENTRY) as u64,
+        mem_bytes: bytes * 2 + m.nnz * 12,
         ..Default::default()
     }
 }
@@ -639,6 +772,69 @@ mod tests {
             split.cpu_ns,
             serial.cpu_ns
         );
+    }
+
+    #[test]
+    fn stats_estimates_match_the_row_based_functions() {
+        // The planner prices transports from MatrixStats; the row-based
+        // cost functions delegate to the same stats formulas, so on
+        // identical shapes the two must agree exactly.
+        let rows: Vec<hpa_sparse::SparseVec> = (0..300)
+            .map(|i| hpa_sparse::SparseVec::from_pairs(vec![(i, 1.5), (i + 400, 0.5)]))
+            .collect();
+        let dim = 900;
+        let m = MatrixStats::of(&rows, dim);
+        assert_eq!(m.rows, 300);
+        assert_eq!(m.nnz, 600);
+        assert_eq!(arff_read_cost(&rows, dim), arff_read_cost_stats(&m));
+        assert_eq!(
+            arff_write_estimate(&rows, dim),
+            arff_write_estimate_stats(&m)
+        );
+        assert_eq!(
+            arff_format_chunk_cost(&rows),
+            arff_format_cost_for(m.rows, m.nnz)
+        );
+        assert_eq!(
+            colfmt_chunk_bytes(&rows),
+            colfmt_chunk_bytes_for(m.rows, m.nnz)
+        );
+        assert_eq!(colfmt_file_bytes(&rows), colfmt_file_bytes_stats(&m));
+        assert_eq!(
+            colfmt_write_estimate(&rows),
+            colfmt_write_estimate_stats(&m)
+        );
+        assert_eq!(
+            colfmt_encode_chunk_cost(&rows),
+            colfmt_encode_cost_for(m.rows, m.nnz)
+        );
+        assert_eq!(colfmt_read_cost(&rows), colfmt_read_cost_stats(&m));
+    }
+
+    #[test]
+    fn transform_estimate_tracks_nnz_and_vanishes_on_empty_input() {
+        let kind = DictKind::BTree;
+        assert_eq!(
+            transform_cost_estimate(kind, kind, 0, 0, 0),
+            TaskCost::default()
+        );
+        let small = transform_cost_estimate(kind, kind, 100, 5_000, 20_000);
+        let large = transform_cost_estimate(kind, kind, 100, 50_000, 20_000);
+        assert!(large.cpu_ns > small.cpu_ns * 5);
+        assert!(large.mem_bytes > small.mem_bytes * 5);
+    }
+
+    #[test]
+    fn nnz_shares_of_a_partition_are_proportional() {
+        let m = MatrixStats {
+            rows: 100,
+            nnz: 1000,
+            dim: 50,
+        };
+        assert_eq!(m.nnz_of_rows(100), 1000);
+        assert_eq!(m.nnz_of_rows(50), 500);
+        assert_eq!(m.nnz_of_rows(0), 0);
+        assert_eq!(MatrixStats::default().nnz_of_rows(10), 0);
     }
 
     #[test]

@@ -22,7 +22,8 @@
 //! * [`colfmt`] — chunk-aligned binary columnar intermediate (the fast wire format)
 //! * [`tfidf`] — the parallel TF/IDF operator
 //! * [`kmeans`] — the parallel sparse K-means operator and WEKA-style baseline
-//! * [`workflow`] — the operator/workflow framework (discrete vs fused)
+//! * [`plan`] — the workflow DAG and cost-based fusion planner
+//! * [`workflow`] — the operator/workflow framework (discrete, fused, or planned)
 //! * [`metrics`] — phase timing, heap accounting, result tables
 //! * [`rng`] — small deterministic PRNG (SplitMix64), no external deps
 //! * [`trace`] — opt-in span tracing with Chrome-trace (Perfetto) export
@@ -55,6 +56,7 @@ pub use hpa_exec as exec;
 pub use hpa_io as io;
 pub use hpa_kmeans as kmeans;
 pub use hpa_metrics as metrics;
+pub use hpa_plan as plan;
 pub use hpa_rng as rng;
 pub use hpa_sparse as sparse;
 pub use hpa_tfidf as tfidf;
@@ -63,7 +65,8 @@ pub use hpa_trace as trace;
 /// Commonly used items, for `use hpa::prelude::*`.
 pub mod prelude {
     pub use hpa_core::{
-        DiscreteIo, IntermediateFormat, Workflow, WorkflowBuilder, WorkflowOutcome,
+        DiscreteIo, IntermediateFormat, PlanSpace, Transport, Workflow, WorkflowBuilder,
+        WorkflowOutcome,
     };
     pub use hpa_corpus::{Corpus, CorpusSpec};
     pub use hpa_dict::{BTreeDict, DictKind, Dictionary, HashDict};
