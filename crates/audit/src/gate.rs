@@ -21,12 +21,13 @@ use std::path::Path;
 pub const DEFAULT_TOLERANCE: f64 = 1.5;
 
 /// The artifacts the gate knows how to compare.
-pub const GATED_FILES: [&str; 5] = [
+pub const GATED_FILES: [&str; 6] = [
     "BENCH_kmeans_assign.json",
     "BENCH_arff_pipeline.json",
     "BENCH_dict_arena.json",
     "BENCH_colfmt.json",
     "BENCH_planner.json",
+    "BENCH_scenario_matrix.json",
 ];
 
 /// Outcome of one check.
@@ -222,6 +223,28 @@ pub fn compare_artifact(
         _ => {}
     }
 
+    // Timing metrics are only comparable between hosts with the same
+    // core budget (schema v2 stamps it). A mismatch is the main source
+    // of false CI perf failures — downgrade timing regressions to
+    // warnings, but keep structural and deterministic-pick checks hard.
+    let demote = match (
+        base.get("host_cores").and_then(JsonValue::as_u64),
+        fresh.get("host_cores").and_then(JsonValue::as_u64),
+    ) {
+        (Some(b), Some(f)) if b != f => {
+            report.push(
+                file,
+                "host_cores",
+                GateStatus::Warn,
+                format!(
+                    "baseline ran on {b} cores, fresh on {f}: timing gates downgraded to warnings"
+                ),
+            );
+            true
+        }
+        _ => false,
+    };
+
     match base_bench {
         "kmeans_assign" => {
             gate_speedup(
@@ -231,21 +254,70 @@ pub fn compare_artifact(
                 fresh,
                 "assign_speedup_pruned_vs_naive",
                 tolerance,
+                demote,
             );
             gate_pruning_counters(report, file, fresh);
         }
         "arff_pipeline" => {
-            gate_speedup(report, file, base, fresh, "kmeans_input_speedup", tolerance);
-            gate_speedup(report, file, base, fresh, "tfidf_output_speedup", tolerance);
+            gate_speedup(
+                report,
+                file,
+                base,
+                fresh,
+                "kmeans_input_speedup",
+                tolerance,
+                demote,
+            );
+            gate_speedup(
+                report,
+                file,
+                base,
+                fresh,
+                "tfidf_output_speedup",
+                tolerance,
+                demote,
+            );
         }
         "dict_arena" => gate_auto_picks(report, file, base, fresh),
         "colfmt" => {
-            gate_speedup(report, file, base, fresh, "colfmt_write_speedup", tolerance);
-            gate_speedup(report, file, base, fresh, "colfmt_read_speedup", tolerance);
-            gate_ceiling(report, file, base, fresh, "discrete_over_fused", tolerance);
+            gate_speedup(
+                report,
+                file,
+                base,
+                fresh,
+                "colfmt_write_speedup",
+                tolerance,
+                demote,
+            );
+            gate_speedup(
+                report,
+                file,
+                base,
+                fresh,
+                "colfmt_read_speedup",
+                tolerance,
+                demote,
+            );
+            gate_ceiling(
+                report,
+                file,
+                base,
+                fresh,
+                "discrete_over_fused",
+                tolerance,
+                demote,
+            );
         }
         "planner" => {
-            gate_ceiling(report, file, base, fresh, "pick_over_best_full", tolerance);
+            gate_ceiling(
+                report,
+                file,
+                base,
+                fresh,
+                "pick_over_best_full",
+                tolerance,
+                demote,
+            );
             gate_ceiling(
                 report,
                 file,
@@ -253,8 +325,21 @@ pub fn compare_artifact(
                 fresh,
                 "pick_over_best_discrete",
                 tolerance,
+                demote,
             );
             gate_planner_picks(report, file, base, fresh);
+        }
+        "scenario_matrix" => {
+            gate_speedup(
+                report,
+                file,
+                base,
+                fresh,
+                "best_speedup_vs_scalar_p4",
+                tolerance,
+                demote,
+            );
+            gate_bit_identity(report, file, fresh);
         }
         other => {
             report.push(
@@ -268,6 +353,8 @@ pub fn compare_artifact(
 }
 
 /// One-sided speedup gate: fresh may sag to `baseline / tolerance`.
+/// With `demote`, a sag becomes a warning (different host core count —
+/// the timing is not comparable, only suspicious).
 fn gate_speedup(
     report: &mut GateReport,
     file: &str,
@@ -275,6 +362,7 @@ fn gate_speedup(
     fresh: &JsonValue,
     key: &str,
     tolerance: f64,
+    demote: bool,
 ) {
     let (Some(b), Some(f)) = (
         base.get(key).and_then(JsonValue::as_f64),
@@ -291,6 +379,8 @@ fn gate_speedup(
     let floor = b / tolerance;
     let status = if f >= floor {
         GateStatus::Pass
+    } else if demote {
+        GateStatus::Warn
     } else {
         GateStatus::Fail
     };
@@ -313,6 +403,7 @@ fn gate_ceiling(
     fresh: &JsonValue,
     key: &str,
     tolerance: f64,
+    demote: bool,
 ) {
     let (Some(b), Some(f)) = (
         base.get(key).and_then(JsonValue::as_f64),
@@ -329,6 +420,8 @@ fn gate_ceiling(
     let ceiling = b * tolerance;
     let status = if f <= ceiling {
         GateStatus::Pass
+    } else if demote {
+        GateStatus::Warn
     } else {
         GateStatus::Fail
     };
@@ -337,6 +430,31 @@ fn gate_ceiling(
         key,
         status,
         format!("baseline {b:.4}, fresh {f:.4}, ceiling {ceiling:.4} (tolerance {tolerance}x)"),
+    );
+}
+
+/// The scenario-matrix bin asserts every dispatch arm bit-identical to
+/// Scalar before timing and records the fact; a missing or false flag
+/// means the timings compare diverging computations — meaningless.
+fn gate_bit_identity(report: &mut GateReport, file: &str, fresh: &JsonValue) {
+    let ok = fresh
+        .get("bit_identical")
+        .and_then(JsonValue::as_bool)
+        .unwrap_or(false);
+    let status = if ok {
+        GateStatus::Pass
+    } else {
+        GateStatus::Fail
+    };
+    report.push(
+        file,
+        "bit_identical",
+        status,
+        if ok {
+            "all dispatch arms asserted bit-identical to scalar".into()
+        } else {
+            "fresh artifact does not assert dispatch bit-identity".into()
+        },
     );
 }
 
@@ -751,6 +869,115 @@ mod tests {
             1.5,
         );
         assert!(report.failed());
+    }
+
+    fn kmeans_doc_on_cores(speedup: f64, pruned: u64, cores: u64) -> JsonValue {
+        JsonValue::parse(&format!(
+            r#"{{"schema_version": 2, "host_cores": {cores}, "bench": "kmeans_assign",
+                 "assign_speedup_pruned_vs_naive": {speedup},
+                 "arms": [{{"kernel": "naive", "distances_pruned": 0}},
+                          {{"kernel": "blocked+pruned", "distances_pruned": {pruned}}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    fn scenario_doc(speedup: f64, bit_identical: bool, cores: u64) -> JsonValue {
+        JsonValue::parse(&format!(
+            r#"{{"schema_version": 2, "host_cores": {cores}, "bench": "scenario_matrix",
+                 "best_speedup_vs_scalar_p4": {speedup},
+                 "bit_identical": {bit_identical}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn core_count_mismatch_downgrades_timing_regressions_to_warnings() {
+        // The same 2x regression that fails on an identical host only
+        // warns when the fresh run had a different core budget.
+        let mut report = GateReport::default();
+        compare_artifact(
+            &mut report,
+            "k.json",
+            &kmeans_doc_on_cores(2.3, 100, 20),
+            &kmeans_doc_on_cores(1.15, 100, 4),
+            1.5,
+        );
+        assert!(!report.failed(), "{}", report.to_text());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.status == GateStatus::Warn && c.what == "host_cores"));
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.status == GateStatus::Warn && c.what == "assign_speedup_pruned_vs_naive"));
+        // Same cores: the regression stays a hard failure.
+        let mut report = GateReport::default();
+        compare_artifact(
+            &mut report,
+            "k.json",
+            &kmeans_doc_on_cores(2.3, 100, 20),
+            &kmeans_doc_on_cores(1.15, 100, 20),
+            1.5,
+        );
+        assert!(report.failed());
+    }
+
+    #[test]
+    fn core_count_mismatch_keeps_structural_checks_hard() {
+        // Zero pruning is a broken bound, not timing noise — it must
+        // fail even across different hosts.
+        let mut report = GateReport::default();
+        compare_artifact(
+            &mut report,
+            "k.json",
+            &kmeans_doc_on_cores(2.3, 100, 20),
+            &kmeans_doc_on_cores(2.3, 0, 4),
+            1.5,
+        );
+        assert!(report.failed());
+    }
+
+    #[test]
+    fn scenario_matrix_gates_headline_speedup_and_bit_identity() {
+        // Identical artifacts pass.
+        let mut report = GateReport::default();
+        compare_artifact(
+            &mut report,
+            "s.json",
+            &scenario_doc(2.4, true, 8),
+            &scenario_doc(2.4, true, 8),
+            1.5,
+        );
+        assert!(!report.failed(), "{}", report.to_text());
+        // A halved headline speedup fails on the same host...
+        let mut report = GateReport::default();
+        compare_artifact(
+            &mut report,
+            "s.json",
+            &scenario_doc(2.4, true, 8),
+            &scenario_doc(1.2, true, 8),
+            1.5,
+        );
+        assert!(report.failed());
+        // ...and a missing bit-identity assertion fails regardless of
+        // the numbers.
+        let mut report = GateReport::default();
+        compare_artifact(
+            &mut report,
+            "s.json",
+            &scenario_doc(2.4, true, 8),
+            &scenario_doc(3.0, false, 8),
+            1.5,
+        );
+        assert!(report.failed());
+        let failing: Vec<_> = report
+            .checks
+            .iter()
+            .filter(|c| c.status == GateStatus::Fail)
+            .collect();
+        assert_eq!(failing.len(), 1);
+        assert_eq!(failing[0].what, "bit_identical");
     }
 
     #[test]

@@ -66,6 +66,14 @@ impl JsonValue {
         }
     }
 
+    /// Boolean accessor.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// String accessor.
     pub fn as_str(&self) -> Option<&str> {
         match self {

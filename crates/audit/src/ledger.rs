@@ -485,7 +485,10 @@ mod tests {
         );
         let ledger = RunLedger::from_recording("workflow", 4, &rec, 4.0);
         let json = ledger.to_json();
-        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains(&format!(
+            "\"schema_version\": {}",
+            hpa_bench::json::SCHEMA_VERSION
+        )));
         assert!(json.contains("\"ledger\": \"workflow\""));
         assert!(json.contains("\"error_ratio\": 0.8000"));
         assert!(json.contains("\"status\": \"ok\""));

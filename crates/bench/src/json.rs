@@ -19,7 +19,21 @@ use std::fmt::Write as _;
 /// artifact's keys change meaning; `perf-gate` refuses to compare
 /// artifacts across versions (and warns when a pre-versioning baseline
 /// omits the field).
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// Version history:
+/// * 1 — initial versioned layout.
+/// * 2 — adds the unconditional `host_cores` field (the machine's
+///   available parallelism at render time); `perf-gate` downgrades
+///   regressions to warnings when it differs from the baseline's.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// The host's available parallelism, as stamped into every artifact's
+/// `host_cores` field (schema v2). Real-mode timings are only
+/// comparable between hosts with the same core budget; the gate
+/// downgrades cross-core-count regressions to warnings.
+pub fn host_cores() -> u64 {
+    std::thread::available_parallelism().map_or(1, |n| n.get() as u64)
+}
 
 /// Minimal streaming JSON writer producing the benches' 2-space style.
 #[derive(Debug)]
@@ -49,7 +63,9 @@ fn escape(s: &str) -> String {
 
 impl JsonWriter {
     /// Render one top-level object; `build` adds its fields. The
-    /// `schema_version` field is written first, unconditionally.
+    /// `schema_version` and `host_cores` fields are written first,
+    /// unconditionally — the gate keys on the former and uses the
+    /// latter to tell a real regression from a different machine.
     pub fn document(build: impl FnOnce(&mut JsonWriter)) -> String {
         let mut w = JsonWriter {
             out: String::from("{\n"),
@@ -57,6 +73,7 @@ impl JsonWriter {
             first: vec![true],
         };
         w.u64_field("schema_version", SCHEMA_VERSION);
+        w.u64_field("host_cores", host_cores());
         build(&mut w);
         w.out.push_str("\n}\n");
         w.out
@@ -176,7 +193,11 @@ mod tests {
                 w.object_elem(|w| w.str_field("kernel", "blocked"));
             });
         });
-        assert!(doc.starts_with("{\n  \"schema_version\": 1,\n  \"bench\": \"demo\""));
+        let head = format!(
+            "{{\n  \"schema_version\": 2,\n  \"host_cores\": {},\n  \"bench\": \"demo\"",
+            host_cores()
+        );
+        assert!(doc.starts_with(&head), "{doc}");
         assert!(doc.contains("\"speedup\": 2.2964"));
         assert!(doc.contains("\"threads\": [1, 4]"));
         assert!(doc.contains("      \"kernel\": \"naive\""));

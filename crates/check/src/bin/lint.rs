@@ -72,6 +72,7 @@ const RELAXED_FILE_ALLOWLIST: &[&str] = &[
     "crates/metrics/src/alloc.rs", // heap counters; racy-max documented
     "crates/trace/src/lib.rs",     // enabled flag + tid allocator
     "crates/dict/src/sharded.rs",  // per-shard stat counters
+    "crates/dict/src/arena.rs",    // prefetch-issued stat counter
     "crates/check/src/sched.rs",   // ObjCell ids, guarded by the scheduler lock
     "crates/check/src/sync.rs",    // shim edge-classification matches, not accesses
     "crates/core/src/lib.rs",      // discrete-run id allocator (uniqueness only)

@@ -91,15 +91,13 @@ pub const CHUNK_HEADER_LEN: usize = 40;
 pub const DEFAULT_CHUNK_ROWS: usize = 256;
 
 /// FNV-1a 64-bit over a byte slice — the per-chunk payload checksum.
-/// (Same function family the dictionary uses for strings; re-stated here
-/// so the format crate stays dependency-free below `hpa-sparse`.)
+/// The fold is the workspace-shared [`hpa_sparse::fnv`] implementation
+/// (the same one the dictionary hashes words with); this wrapper keeps
+/// the format-facing name so call sites and the wire contract read the
+/// same as before the dedupe.
+#[inline]
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    hpa_sparse::fnv1a(bytes)
 }
 
 /// Decode/encode errors. Corruption always names the chunk it was

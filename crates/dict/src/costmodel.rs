@@ -358,8 +358,13 @@ const AUTO_VOCAB_LEN: usize = 185_000;
 
 /// Memory-traffic weight in ns/byte as threads contend for shared
 /// bandwidth: free on one thread, growing linearly — the mechanism that
-/// made the paper's u-map transform stop scaling.
-fn contended_ns_per_byte(threads: usize) -> f64 {
+/// made the paper's u-map transform stop scaling. This is the model's
+/// explicit bytes-touched × ns/B bandwidth term: every auto-pick score
+/// is `cpu_ns + mem_bytes * contended_ns_per_byte(threads)`, and the
+/// calibration audit (`audit::calib::rescored_pick`) rescales only the
+/// CPU component by the fitted alpha while holding this term fixed, so
+/// bandwidth pressure stays priced even when CPU constants drift.
+pub fn contended_ns_per_byte(threads: usize) -> f64 {
     0.004 * threads.saturating_sub(1) as f64
 }
 

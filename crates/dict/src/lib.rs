@@ -35,15 +35,12 @@ pub use sharded::ShardedDict;
 /// [`ArenaDict`] derives its slot index from it (high bits of a
 /// Fibonacci multiply, so the two uses stay decorrelated). Stable across
 /// processes, unlike a seeded `DefaultHasher`, so shard assignment and
-/// probe order are deterministic.
+/// probe order are deterministic. The fold itself is the workspace-shared
+/// [`hpa_sparse::fnv`] implementation (the same one the columnar format
+/// checksums with); this wrapper keeps the dictionary-facing name.
 #[inline]
 pub fn hash_word(word: &str) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    for b in word.as_bytes() {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
+    hpa_sparse::fnv1a_str(word)
 }
 
 /// Word → `u64` dictionary operations shared by both structures.

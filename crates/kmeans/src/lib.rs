@@ -40,7 +40,10 @@ pub use assign::{AssignKernel, AssignStats};
 
 use hpa_exec::sync::Mutex;
 use hpa_exec::{Exec, TaskCost};
-use hpa_sparse::{squared_distance_to_centroid, CentroidBlock, DenseVec, SparseVec};
+use hpa_sparse::{
+    squared_distance_to_centroid, CentroidBlock, DenseVec, KernelDispatch, ResolvedKernel,
+    SparseVec,
+};
 
 /// Cluster-initialization strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -76,6 +79,13 @@ pub struct KMeansConfig {
     /// Which assignment kernel runs the document→centroid distance loop
     /// (see [`assign`]); all three arms produce bit-identical results.
     pub kernel: AssignKernel,
+    /// Instruction-level dispatch of the inner distance/accumulate
+    /// kernels (orthogonal to [`KMeansConfig::kernel`], which picks the
+    /// *algorithmic* arm): `Scalar` is the paper-fidelity default,
+    /// `Wide` selects the 8-wide unrolled variants, `Auto` detects at
+    /// run time. Every dispatch produces bit-identical results — the
+    /// wide arms keep per-accumulator floating-point operation order.
+    pub dispatch: KernelDispatch,
 }
 
 impl Default for KMeansConfig {
@@ -89,6 +99,7 @@ impl Default for KMeansConfig {
             grain: 0,
             recycle_buffers: true,
             kernel: AssignKernel::default(),
+            dispatch: KernelDispatch::default(),
         }
     }
 }
@@ -144,9 +155,11 @@ impl Partial {
     }
 
     /// Fold `other` into `self` without consuming either allocation.
-    fn merge_in_place(&mut self, other: &Partial) {
+    /// The dense axpy dispatches like the distance kernels (elementwise
+    /// adds over disjoint slots, so every dispatch is bit-identical).
+    fn merge_in_place(&mut self, other: &Partial, dispatch: ResolvedKernel) {
         for (a, b) in self.sums.iter_mut().zip(&other.sums) {
-            a.add(b);
+            a.add_dispatch(b, dispatch);
         }
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
@@ -238,6 +251,9 @@ impl KMeans {
             cfg.kernel,
             AssignKernel::Blocked | AssignKernel::BlockedPruned
         );
+        // Resolve the instruction-level dispatch once (Auto probes the
+        // host here, not per document).
+        let dispatch = cfg.dispatch.resolve();
         let mut block = CentroidBlock::new();
         let mut movement = assign::Movement::default();
         movement.reset(k);
@@ -293,10 +309,12 @@ impl KMeans {
                     for ci in chunk_idx_range.clone() {
                         let range = ranges_ref[ci].clone();
                         total += match kernel {
-                            AssignKernel::Naive => cost::assign_chunk_cost(vectors, range, k),
-                            AssignKernel::Blocked => {
-                                cost::assign_chunk_cost_blocked(vectors, range, k)
+                            AssignKernel::Naive => {
+                                cost::assign_chunk_cost_dispatch(vectors, range, k, dispatch)
                             }
+                            AssignKernel::Blocked => cost::assign_chunk_cost_blocked_dispatch(
+                                vectors, range, k, dispatch,
+                            ),
                             AssignKernel::BlockedPruned => {
                                 // Predict per-document skips from the
                                 // pre-assignment bounds (conservative:
@@ -318,7 +336,9 @@ impl KMeans {
                                         nnz_full += nnz;
                                     }
                                 }
-                                cost::assign_cost_pruned(nnz_full, nnz_pruned, docs, k)
+                                cost::assign_cost_pruned_dispatch(
+                                    nnz_full, nnz_pruned, docs, k, dispatch,
+                                )
                             }
                         };
                     }
@@ -343,6 +363,7 @@ impl KMeans {
                             let mut state = chunk_slots_ref[ci].lock();
                             assign::assign_chunk(
                                 kernel,
+                                dispatch,
                                 vectors,
                                 ranges_ref[ci].clone(),
                                 centroids_ref,
@@ -351,7 +372,7 @@ impl KMeans {
                                 movement_ref,
                                 &mut state,
                                 |i, best, best_d| {
-                                    acc.sums[best].add_sparse(&vectors[i]);
+                                    acc.sums[best].add_sparse_dispatch(&vectors[i], dispatch);
                                     acc.counts[best] += 1;
                                     acc.cost += best_d;
                                 },
@@ -408,7 +429,7 @@ impl KMeans {
                                 let i = pair_lhs_ref[pi];
                                 let mut a = partials_ref[i].lock();
                                 let b = partials_ref[i + stride].lock();
-                                a.merge_in_place(&b);
+                                a.merge_in_place(&b, dispatch);
                             }
                         },
                         |pair_range| {
@@ -586,6 +607,39 @@ mod tests {
             for (c, centroid) in model.centroids.iter().enumerate() {
                 let dc = squared_distance_to_centroid(x, centroid, norms[c]);
                 assert!(da <= dc + 1e-9, "doc assigned to {a} but {c} is closer");
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_variants_give_bit_identical_models() {
+        let (data, dim) = clustered_data();
+        for kernel in [
+            AssignKernel::Naive,
+            AssignKernel::Blocked,
+            AssignKernel::BlockedPruned,
+        ] {
+            let mut base = cfg(3);
+            base.kernel = kernel;
+            let reference = KMeans::new(base).fit(&Exec::sequential(), &data, dim);
+            for dispatch in [KernelDispatch::Wide, KernelDispatch::Auto] {
+                let mut c = base;
+                c.dispatch = dispatch;
+                let other = KMeans::new(c).fit(&Exec::sequential(), &data, dim);
+                assert_eq!(
+                    reference.assignments, other.assignments,
+                    "{kernel:?}/{dispatch:?}"
+                );
+                assert_eq!(reference.inertia.to_bits(), other.inertia.to_bits());
+                assert_eq!(reference.iterations, other.iterations);
+                for (a, b) in reference.centroids.iter().zip(&other.centroids) {
+                    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                        assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                }
+                // Same answer when the wide dispatch runs on the pool.
+                let pooled = KMeans::new(c).fit(&Exec::pool(3), &data, dim);
+                assert_eq!(reference.assignments, pooled.assignments);
             }
         }
     }

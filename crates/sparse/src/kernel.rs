@@ -1,0 +1,153 @@
+//! Kernel dispatch: scalar vs wide variants of the hot loops.
+//!
+//! Every numeric kernel in this crate exists in (at least) two shapes
+//! that produce **bit-identical** results:
+//!
+//! * **Scalar** — the straightforward loops the paper's C++ would
+//!   compile to, plus the 4-wide across-centroid unroll PR 3 introduced
+//!   for [`crate::CentroidBlock`]. This is the fidelity baseline: every
+//!   committed figure was generated with it, and it stays the default.
+//! * **Wide** — 8-wide unrolled, auto-vectorizer-friendly rewrites.
+//!   They never reassociate a floating-point sum: unrolling runs across
+//!   *independent* accumulators (one per centroid) or hoists bounds
+//!   checks and loop overhead around a single accumulator whose adds
+//!   stay in term order. That is what keeps them bit-identical — see
+//!   the contract note in [`crate::block`].
+//!
+//! [`KernelDispatch`] is the user-facing knob (threaded through
+//! `hpa-kmeans` the same way `AssignKernel` is); [`ResolvedKernel`] is
+//! what the inner loops branch on after `Auto` has consulted the host.
+//! `Auto` is deliberately conservative: it picks `Wide` only when the
+//! host advertises a 256-bit SIMD unit (AVX on x86-64, always on
+//! aarch64 where NEON is baseline), because the wide unrolls pay for
+//! their larger code footprint only when the auto-vectorizer can use
+//! the extra lanes.
+
+/// User-facing kernel selection knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelDispatch {
+    /// The paper-fidelity loops (default; what every figure was
+    /// generated with).
+    #[default]
+    Scalar,
+    /// 8-wide unrolled variants, bit-identical to `Scalar`.
+    Wide,
+    /// Probe the host at run time and pick `Wide` when it has the SIMD
+    /// width to profit, `Scalar` otherwise.
+    Auto,
+}
+
+impl KernelDispatch {
+    /// Stable label for reports and bench JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelDispatch::Scalar => "scalar",
+            KernelDispatch::Wide => "wide",
+            KernelDispatch::Auto => "auto",
+        }
+    }
+
+    /// Collapse `Auto` against the host; `Scalar`/`Wide` pass through.
+    pub fn resolve(self) -> ResolvedKernel {
+        match self {
+            KernelDispatch::Scalar => ResolvedKernel::Scalar,
+            KernelDispatch::Wide => ResolvedKernel::Wide,
+            KernelDispatch::Auto => detect(),
+        }
+    }
+
+    /// Parse a bench-CLI label; `None` for anything unknown.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "scalar" => Some(KernelDispatch::Scalar),
+            "wide" => Some(KernelDispatch::Wide),
+            "auto" => Some(KernelDispatch::Auto),
+            _ => None,
+        }
+    }
+}
+
+/// A dispatch decision with `Auto` already collapsed — what the kernels
+/// themselves branch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResolvedKernel {
+    /// Run the scalar loops.
+    #[default]
+    Scalar,
+    /// Run the 8-wide loops.
+    Wide,
+}
+
+impl ResolvedKernel {
+    /// Stable label for reports and bench JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ResolvedKernel::Scalar => "scalar",
+            ResolvedKernel::Wide => "wide",
+        }
+    }
+}
+
+/// Host probe backing [`KernelDispatch::Auto`].
+fn detect() -> ResolvedKernel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // `is_x86_feature_detected!` caches its CPUID probe internally,
+        // so resolving per fit/bench arm is free.
+        if std::arch::is_x86_feature_detected!("avx") {
+            return ResolvedKernel::Wide;
+        }
+        ResolvedKernel::Scalar
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // NEON (128-bit) is architecturally guaranteed; the 8-wide
+        // unroll still halves loop overhead there.
+        ResolvedKernel::Wide
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        ResolvedKernel::Scalar
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_scalar_for_paper_fidelity() {
+        assert_eq!(KernelDispatch::default(), KernelDispatch::Scalar);
+        assert_eq!(ResolvedKernel::default(), ResolvedKernel::Scalar);
+    }
+
+    #[test]
+    fn scalar_and_wide_resolve_to_themselves() {
+        assert_eq!(KernelDispatch::Scalar.resolve(), ResolvedKernel::Scalar);
+        assert_eq!(KernelDispatch::Wide.resolve(), ResolvedKernel::Wide);
+    }
+
+    #[test]
+    fn auto_resolves_deterministically_on_this_host() {
+        // Whatever the host is, two probes must agree (the bench bins
+        // rely on `auto` meaning one fixed kernel per run).
+        assert_eq!(
+            KernelDispatch::Auto.resolve(),
+            KernelDispatch::Auto.resolve()
+        );
+    }
+
+    #[test]
+    fn labels_and_parse_round_trip() {
+        for d in [
+            KernelDispatch::Scalar,
+            KernelDispatch::Wide,
+            KernelDispatch::Auto,
+        ] {
+            assert_eq!(KernelDispatch::parse(d.label()), Some(d));
+        }
+        assert_eq!(KernelDispatch::parse("nope"), None);
+        assert_eq!(ResolvedKernel::Scalar.label(), "scalar");
+        assert_eq!(ResolvedKernel::Wide.label(), "wide");
+    }
+}

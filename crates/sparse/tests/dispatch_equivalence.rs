@@ -1,0 +1,208 @@
+//! Bit-exactness of the wide (8-lane unrolled) kernels against their
+//! scalar references, at the primitive level.
+//!
+//! The dispatch contract (DESIGN.md §16) is that `KernelDispatch::Wide`
+//! may only reassociate across *independent* accumulators — one per
+//! centroid row, one per distinct scatter slot — never within a single
+//! reduction, so every wide primitive must return bit-identical f64s to
+//! its scalar twin on every input. This suite drives each pair through
+//! the shapes most likely to expose a violation:
+//!
+//! * remainder handling — nnz/dim/k spanning every residue mod 8;
+//! * degenerate sizes — empty vectors, dim 0, k = 1, single non-zero;
+//! * extreme magnitudes — subnormals, near-overflow values, and mixes
+//!   whose sums cancel catastrophically (where any reassociation of a
+//!   single accumulator would change the rounding).
+//!
+//! Randomized corpora use the workspace SplitMix64 so failures replay
+//! deterministically. A `proptest`-gated mirror of these laws lives in
+//! `tests/properties.rs` for builds that have the crate available.
+
+use hpa_rng::SplitMix64;
+use hpa_sparse::{
+    squared_distance_to_centroid, squared_distance_to_centroid_dispatch, CentroidBlock, DenseVec,
+    ResolvedKernel, SparseVec,
+};
+
+/// Weights drawn from several regimes, including subnormal and huge
+/// values: any intra-sum reassociation shows up as a bits mismatch here
+/// long before it would on uniform data.
+fn weight(rng: &mut SplitMix64) -> f64 {
+    match rng.gen_index(6) {
+        0 => rng.gen_range_f64(-2.0, 2.0),
+        1 => rng.gen_range_f64(-1e-308, 1e-308), // subnormal territory
+        2 => rng.gen_range_f64(-1e300, 1e300),
+        3 => rng.gen_range_f64(-1e-12, 1e-12),
+        // Exact cancellation pairs arise from repeated ±v draws.
+        4 => {
+            if rng.gen_ratio(1, 2) {
+                1.0 + 1e-15
+            } else {
+                -1.0
+            }
+        }
+        _ => rng.gen_range_f64(-100.0, 100.0),
+    }
+}
+
+/// A sparse vector with exactly `nnz` distinct terms below `dim`.
+fn sparse(rng: &mut SplitMix64, dim: usize, nnz: usize) -> SparseVec {
+    let pairs: Vec<(u32, f64)> = (0..nnz.min(dim))
+        .map(|_| (rng.gen_index(dim.max(1)) as u32, weight(rng)))
+        .collect();
+    SparseVec::from_pairs(pairs)
+}
+
+fn dense(rng: &mut SplitMix64, dim: usize) -> Vec<f64> {
+    (0..dim).map(|_| weight(rng)).collect()
+}
+
+fn assert_bits_eq(a: f64, b: f64, label: &str) {
+    assert_eq!(
+        a.to_bits(),
+        b.to_bits(),
+        "{label}: scalar {a:?} != wide {b:?}"
+    );
+}
+
+fn assert_slice_bits_eq(a: &[f64], b: &[f64], label: &str) {
+    let ab: Vec<u64> = a.iter().map(|x| x.to_bits()).collect();
+    let bb: Vec<u64> = b.iter().map(|x| x.to_bits()).collect();
+    assert_eq!(ab, bb, "{label}");
+}
+
+/// Every (dim, nnz) shape the sweep tests: all residues mod 8 on both
+/// axes plus the empty/degenerate corners.
+fn shapes() -> Vec<(usize, usize)> {
+    let mut shapes = vec![(0, 0), (1, 0), (1, 1), (3, 1), (1024, 0)];
+    for nnz in 0..=17 {
+        shapes.push((64, nnz));
+    }
+    for dim in [7, 8, 9, 15, 16, 17, 33, 257] {
+        shapes.push((dim, dim / 2 + 1));
+    }
+    shapes
+}
+
+#[test]
+fn dot_dense_wide_is_bit_identical() {
+    let mut rng = SplitMix64::seed_from_u64(0xD07);
+    for (dim, nnz) in shapes() {
+        for rep in 0..8 {
+            let x = sparse(&mut rng, dim, nnz);
+            let d = dense(&mut rng, dim);
+            assert_bits_eq(
+                x.dot_dense(&d),
+                x.dot_dense_wide(&d),
+                &format!("dot_dense dim={dim} nnz={nnz} rep={rep}"),
+            );
+            assert_bits_eq(
+                x.dot_dense_dispatch(&d, ResolvedKernel::Scalar),
+                x.dot_dense_dispatch(&d, ResolvedKernel::Wide),
+                &format!("dot_dense_dispatch dim={dim} nnz={nnz} rep={rep}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn add_into_dense_wide_is_bit_identical() {
+    let mut rng = SplitMix64::seed_from_u64(0xACC);
+    for (dim, nnz) in shapes() {
+        for rep in 0..8 {
+            let x = sparse(&mut rng, dim, nnz);
+            let base = dense(&mut rng, dim);
+            let mut scalar = base.clone();
+            let mut wide = base;
+            x.add_into_dense(&mut scalar);
+            x.add_into_dense_wide(&mut wide);
+            assert_slice_bits_eq(
+                &scalar,
+                &wide,
+                &format!("add_into_dense dim={dim} nnz={nnz} rep={rep}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn dense_axpy_kernels_are_bit_identical() {
+    let mut rng = SplitMix64::seed_from_u64(0xA12);
+    for (dim, nnz) in shapes() {
+        let x = sparse(&mut rng, dim, nnz);
+        let base = dense(&mut rng, dim);
+        let mut scalar = DenseVec::from_vec(base.clone());
+        let mut wide = DenseVec::from_vec(base);
+        scalar.add_sparse(&x);
+        wide.add_sparse_wide(&x);
+        assert_slice_bits_eq(
+            scalar.as_slice(),
+            wide.as_slice(),
+            &format!("add_sparse dim={dim} nnz={nnz}"),
+        );
+
+        let other = DenseVec::from_vec(dense(&mut rng, dim));
+        scalar.add(&other);
+        wide.add_wide(&other);
+        assert_slice_bits_eq(
+            scalar.as_slice(),
+            wide.as_slice(),
+            &format!("dense add dim={dim} nnz={nnz}"),
+        );
+    }
+}
+
+#[test]
+fn centroid_block_dots_and_distances_are_bit_identical() {
+    let mut rng = SplitMix64::seed_from_u64(0xB10C);
+    // k spans every residue mod 8 plus the k=1 no-rival corner.
+    for k in [1usize, 2, 7, 8, 9, 16, 48] {
+        for (dim, nnz) in [(0usize, 0usize), (1, 1), (17, 9), (64, 13), (64, 16)] {
+            let centroids: Vec<DenseVec> = (0..k)
+                .map(|_| DenseVec::from_vec(dense(&mut rng, dim)))
+                .collect();
+            let block = CentroidBlock::from_centroids(&centroids);
+            let x = sparse(&mut rng, dim, nnz);
+
+            let mut scalar = vec![0.0; k];
+            let mut wide = vec![0.0; k];
+            block.dots_into(&x, &mut scalar);
+            block.dots_into_wide(&x, &mut wide);
+            assert_slice_bits_eq(&scalar, &wide, &format!("dots_into k={k} dim={dim}"));
+
+            block.distances_into_dispatch(&x, &mut scalar, ResolvedKernel::Scalar);
+            block.distances_into_dispatch(&x, &mut wide, ResolvedKernel::Wide);
+            assert_slice_bits_eq(&scalar, &wide, &format!("distances_into k={k} dim={dim}"));
+
+            // The per-centroid distance expansion must agree with both.
+            for (c, centroid) in centroids.iter().enumerate() {
+                let norm_sq = centroid.norm_sq();
+                assert_bits_eq(
+                    squared_distance_to_centroid(&x, centroid, norm_sq),
+                    squared_distance_to_centroid_dispatch(
+                        &x,
+                        centroid,
+                        norm_sq,
+                        ResolvedKernel::Wide,
+                    ),
+                    &format!("squared_distance k={k} c={c} dim={dim}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn wide_kernels_propagate_non_finite_identically() {
+    // NaN/inf payloads must flow through the wide lanes exactly as the
+    // scalar loop would produce them (same bits, same lane).
+    let x = SparseVec::from_pairs(vec![(0, f64::NAN), (3, f64::INFINITY), (5, -0.0)]);
+    let d = vec![1.0, 2.0, 3.0, f64::NEG_INFINITY, 5.0, 6.0, 7.0, 8.0];
+    assert_bits_eq(x.dot_dense(&d), x.dot_dense_wide(&d), "non-finite dot");
+
+    let mut scalar = d.clone();
+    let mut wide = d;
+    x.add_into_dense(&mut scalar);
+    x.add_into_dense_wide(&mut wide);
+    assert_slice_bits_eq(&scalar, &wide, "non-finite scatter");
+}

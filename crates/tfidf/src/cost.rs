@@ -51,6 +51,20 @@ impl MatrixStats {
     }
 }
 
+/// The thread-contended memory-bandwidth share of a phase cost, in
+/// nanoseconds: `mem_bytes × contended_ns_per_byte(threads)` — the same
+/// bytes-touched × ns/B term the dictionary auto-picks score with
+/// (`hpa_dict::costmodel::contended_ns_per_byte`), exposed at TF/IDF
+/// phase granularity so the scenario-matrix harness and tests can
+/// decompose a predicted phase time into CPU vs bandwidth shares. The
+/// execution simulator prices the same `mem_bytes` through its roofline
+/// (`MachineModel::{core_,}mem_bandwidth`); this helper is the linear
+/// contention view of that traffic, calibrated so the audit alphas
+/// (`audit::calib`) stay near 1 while leaving it fixed.
+pub fn contended_mem_ns(cost: &TaskCost, threads: usize) -> f64 {
+    cost.mem_bytes as f64 * hpa_dict::costmodel::contended_ns_per_byte(threads)
+}
+
 /// Estimated bytes per token (word + separator) in the synthetic corpora.
 pub const BYTES_PER_TOKEN: f64 = 7.3;
 /// Estimated fraction of a document's tokens that are distinct.
@@ -835,6 +849,47 @@ mod tests {
         assert_eq!(m.nnz_of_rows(50), 500);
         assert_eq!(m.nnz_of_rows(0), 0);
         assert_eq!(MatrixStats::default().nnz_of_rows(10), 0);
+    }
+
+    #[test]
+    fn bandwidth_term_scales_with_threads_and_punishes_heavy_traffic() {
+        // Single thread: bandwidth is free (the paper's u-map transform
+        // wins at P=1). Contention grows linearly with threads, and the
+        // traffic-heavy hash transform pays more of it than the tree —
+        // the mechanism that stalled the u-map workflow's scaling.
+        let c = sample_corpus();
+        let exec = hpa_exec::Exec::sequential();
+        let op = crate::TfIdf::new(crate::TfIdfConfig {
+            dict_kind: DictKind::BTree,
+            grain: 0,
+            charge_input_io: false,
+            ..Default::default()
+        });
+        let counts = op.count_words(&exec, &c);
+        let v = 185_000;
+        let map = transform_chunk_cost(
+            DictKind::BTree,
+            DictKind::BTree,
+            &counts.per_doc,
+            v,
+            0..c.len(),
+        );
+        let umap = transform_chunk_cost(
+            DictKind::Hash,
+            DictKind::Hash,
+            &counts.per_doc,
+            v,
+            0..c.len(),
+        );
+        assert_eq!(contended_mem_ns(&map, 1), 0.0, "no contention at P=1");
+        assert!(contended_mem_ns(&umap, 16) > contended_mem_ns(&umap, 4));
+        assert!(
+            contended_mem_ns(&umap, 16) > contended_mem_ns(&map, 16),
+            "heavier traffic must pay a larger bandwidth term"
+        );
+        // Decomposition: the term is exactly bytes × ns/B.
+        let bw = hpa_dict::costmodel::contended_ns_per_byte(16);
+        assert_eq!(contended_mem_ns(&umap, 16), umap.mem_bytes as f64 * bw);
     }
 
     #[test]
